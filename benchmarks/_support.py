@@ -1,0 +1,17 @@
+"""Shared helpers for the experiment benchmarks."""
+
+from repro.bench.experiments import ExperimentResult
+from repro.bench.tables import render_table
+
+
+def run_and_print(benchmark, experiment, **kwargs) -> ExperimentResult:
+    """Time one full experiment (single round) and print its table.
+
+    Experiments are end-to-end simulations; a single timed round keeps the
+    benchmark suite's runtime proportionate while still reporting wall time
+    per experiment.
+    """
+    result = benchmark.pedantic(experiment, kwargs=kwargs, rounds=1, iterations=1)
+    print()
+    print(render_table(result.headers, result.rows, f"{result.exp_id} — {result.title}"))
+    return result

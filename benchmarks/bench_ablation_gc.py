@@ -1,0 +1,20 @@
+"""ABL-GC — garbage-collection strategy ablation (paper Section 6).
+
+All strategies respect the same horizon rule and differ only in scheduling;
+none may ever victimize a read-only reader.
+"""
+
+from benchmarks._support import run_and_print
+from repro.bench.ablations import ablation_gc_strategies
+
+
+def test_ablation_gc_strategies(benchmark):
+    result = run_and_print(benchmark, ablation_gc_strategies)
+    none_peak = result.summary["none.peak"]
+    for label in ("periodic(25)", "eager(stride=5)", "budgeted(8, every 10)"):
+        assert result.summary[f"{label}.peak"] < none_peak
+        assert result.summary[f"{label}.ro_aborts"] == 0
+    # Eager bounds the footprint tightest; budgeted trades footprint for
+    # bounded per-pass work.
+    assert result.summary["eager(stride=5).peak"] <= result.summary["periodic(25).peak"]
+    assert result.summary["eager(stride=5).passes"] > result.summary["periodic(25).passes"]

@@ -1,0 +1,19 @@
+"""ABL-GRANULARITY — swapping the entire locking substrate under one VC module.
+
+The paper's modularity thesis from the CC side: vc-2pl over flat S/X locks
+and over a multi-granularity intention hierarchy are the same protocol to
+the version-control module.  Scans cost one root lock instead of one per
+key; both systems stay one-copy serializable.
+"""
+
+from benchmarks._support import run_and_print
+from repro.bench.ablations import ablation_lock_granularity
+
+
+def test_ablation_lock_granularity(benchmark):
+    result = run_and_print(benchmark, ablation_lock_granularity)
+    flat = result.summary["vc-2pl (flat).grants"]
+    granular = result.summary["vc-2pl-granular.grants"]
+    assert granular < flat / 2, "intention locks slash scan lock traffic"
+    assert result.summary["vc-2pl (flat).serializable"] is True
+    assert result.summary["vc-2pl-granular.serializable"] is True

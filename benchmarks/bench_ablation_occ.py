@@ -1,0 +1,18 @@
+"""ABL-OCC — backward vs forward optimistic validation.
+
+Two OCC components under the identical version-control module.  Both must
+be serializable; they differ in who pays for conflicts.
+"""
+
+from benchmarks._support import run_and_print
+from repro.bench.ablations import ablation_occ_validation
+
+
+def test_ablation_occ_validation(benchmark):
+    result = run_and_print(benchmark, ablation_occ_validation)
+    for key, value in result.summary.items():
+        if key.endswith(".serializable"):
+            assert value is True, key
+    # Forward validation's aborts are wounds, delivered early.
+    assert result.summary["vc-occ-fwd@hot.aborts"] > 0
+    assert result.summary["vc-occ@hot.aborts"] > 0

@@ -1,0 +1,15 @@
+"""ABL-VICTIM — deadlock victim policy ablation.
+
+All policies preserve serializability; they trade deadlock frequency
+against wasted work and tail latency.
+"""
+
+from benchmarks._support import run_and_print
+from repro.bench.ablations import ablation_victim_policy
+
+
+def test_ablation_victim_policy(benchmark):
+    result = run_and_print(benchmark, ablation_victim_policy)
+    for policy in ("requester", "youngest", "oldest"):
+        assert result.summary[f"{policy}.serializable"] is True
+        assert result.summary[f"{policy}.deadlocks"] > 0

@@ -1,0 +1,19 @@
+"""EXP-A — read-only transactions have zero concurrency-control overhead.
+
+Paper Sections 1 and 6: under the version-control mechanism a read-only
+transaction makes exactly one version-control call and zero concurrency-
+control calls; every baseline pays per-read synchronization.
+"""
+
+from benchmarks._support import run_and_print
+from repro.bench.experiments import VC, exp_a_ro_overhead
+
+
+def test_expA_ro_overhead(benchmark):
+    result = run_and_print(benchmark, exp_a_ro_overhead, duration=400.0)
+    for name in VC:
+        assert result.summary[f"{name}.cc_per_ro"] == 0
+        assert result.summary[f"{name}.sync_per_ro"] == 0
+    # Every baseline performs CC work on behalf of read-only transactions.
+    for name in ("mvto-reed", "mv2pl-chan", "weihl-ti", "sv-2pl", "sv-to"):
+        assert result.summary[f"{name}.cc_per_ro"] > 0

@@ -1,0 +1,15 @@
+"""EXP-B — read-only transactions never abort read-write transactions.
+
+Paper Section 2: in Reed's MVTO a read-only reader's r-ts update can force
+a writer to abort; the version-control mechanism makes this impossible.
+"""
+
+from benchmarks._support import run_and_print
+from repro.bench.experiments import exp_b_ro_caused_aborts
+
+
+def test_expB_ro_caused_aborts(benchmark):
+    result = run_and_print(benchmark, exp_b_ro_caused_aborts, duration=600.0)
+    for name in ("vc-2pl", "vc-to", "vc-occ"):
+        assert result.summary[f"{name}.ro_caused"] == 0
+    assert result.summary["mvto-reed.ro_caused"] > 0

@@ -1,0 +1,20 @@
+"""EXP-C — read-only reads never block under version control.
+
+Paper Section 2 on Reed's MVTO: "read operations may be blocked due to a
+pending write".  Under a write-heavy hot spot the baselines block read-only
+readers; the VC protocols never do, and their read-only latency is flat.
+"""
+
+from benchmarks._support import run_and_print
+from repro.bench.experiments import VC, exp_c_ro_blocking
+
+
+def test_expC_ro_blocking(benchmark):
+    result = run_and_print(benchmark, exp_c_ro_blocking, duration=500.0)
+    for name in VC:
+        assert result.summary[f"{name}.ro_blocks"] == 0
+    assert result.summary["mvto-reed.ro_blocks"] > 0
+    assert result.summary["sv-2pl.ro_blocks"] > 0
+    # Blocking shows up as latency: the blocked baselines are slower for ROs.
+    vc_lat = max(result.summary[f"{n}.ro_latency_mean"] for n in VC)
+    assert result.summary["sv-2pl.ro_latency_mean"] > vc_lat

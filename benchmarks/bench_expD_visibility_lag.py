@@ -1,0 +1,19 @@
+"""EXP-D — delayed visibility: the price of the mechanism (paper Section 6).
+
+The lag between tnc and vtnc grows with read-write transaction length, and
+read-only snapshots get staler accordingly — the trade-off the paper
+acknowledges and offers remedies for (tested in tests/core/test_snapshot.py).
+"""
+
+from benchmarks._support import run_and_print
+from repro.bench.experiments import exp_d_visibility_lag
+
+
+def test_expD_visibility_lag(benchmark):
+    result = run_and_print(benchmark, exp_d_visibility_lag, duration=500.0)
+    short = result.summary["short(2-4).lag_avg"]
+    long = result.summary["long(14-20).lag_avg"]
+    assert long > short, "longer transactions hold visibility back further"
+    assert result.summary["long(14-20).staleness_mean"] >= result.summary[
+        "short(2-4).staleness_mean"
+    ]

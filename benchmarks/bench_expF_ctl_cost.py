@@ -1,0 +1,18 @@
+"""EXP-F — the completed-transaction-list burden of Chan's MV2PL.
+
+Paper Section 2: the CTL is "cumbersome and complex to deal with".  Its
+copied size grows linearly with committed history, while the version-control
+mechanism's read-only cost is one counter read, forever.
+"""
+
+from benchmarks._support import run_and_print
+from repro.bench.experiments import exp_f_ctl_cost
+
+
+def test_expF_ctl_cost(benchmark):
+    result = run_and_print(benchmark, exp_f_ctl_cost)
+    ctl_small = result.summary["200.0.ctl_entries_per_ro"]
+    ctl_large = result.summary["800.0.ctl_entries_per_ro"]
+    assert ctl_large > ctl_small * 2, "CTL copies grow with history"
+    for duration in (200.0, 400.0, 800.0):
+        assert result.summary[f"{duration}.vc_calls_per_ro"] == 1.0

@@ -1,0 +1,18 @@
+"""EXP-G — deadlock exposure (paper Section 4.4).
+
+Version-control registration happens past the lock point, so registered
+transactions are never in deadlock cycles (asserted at runtime inside the
+scheduler), and read-only transactions never appear in the waits-for graph.
+Under single-version 2PL, read-only transactions block and die as victims.
+"""
+
+from benchmarks._support import run_and_print
+from repro.bench.experiments import exp_g_deadlock
+
+
+def test_expG_deadlock(benchmark):
+    result = run_and_print(benchmark, exp_g_deadlock, duration=600.0)
+    assert result.summary["vc-2pl.ro_victims"] == 0
+    assert result.summary["vc-2pl.ro_blocks"] == 0
+    assert result.summary["sv-2pl.ro_blocks"] > 0
+    assert result.summary["vc-2pl.deadlocks"] > 0, "RW-RW deadlocks still happen"

@@ -1,0 +1,17 @@
+"""EXP-H — garbage collection bounded by vtnc (paper Section 6).
+
+More frequent collection keeps fewer versions; under every period the
+collector never discards a version any active or future read-only
+transaction could need (zero read-only aborts), and histories stay 1SR.
+"""
+
+from benchmarks._support import run_and_print
+from repro.bench.experiments import exp_h_gc
+
+
+def test_expH_gc(benchmark):
+    result = run_and_print(benchmark, exp_h_gc, duration=500.0)
+    assert result.summary["off.versions"] > result.summary["every 25.versions"]
+    assert result.summary["every 25.versions"] >= result.summary["every 5.versions"]
+    for label in ("off", "every 100", "every 25", "every 5"):
+        assert result.summary[f"{label}.ro_aborts"] == 0

@@ -1,0 +1,15 @@
+"""EXP-I — Theorem 1 as a measurement.
+
+Every history produced by the version-control protocols is one-copy
+serializable; the MVSG check passes at every scale tried.
+"""
+
+from benchmarks._support import run_and_print
+from repro.bench.experiments import VC, exp_i_serializability
+
+
+def test_expI_serializability(benchmark):
+    result = run_and_print(benchmark, exp_i_serializability)
+    for name in VC:
+        for duration in (150.0, 450.0):
+            assert result.summary[f"{name}@{duration}.serializable"] is True

@@ -1,0 +1,15 @@
+"""EXP-J2 — distributed VC scaling across site counts.
+
+Global one-copy serializability must hold at every scale; message cost per
+commit grows with cross-site fan-out (2PC rounds touch every participant).
+"""
+
+from benchmarks._support import run_and_print
+from repro.bench.experiments import exp_j2_site_scaling
+
+
+def test_expJ2_site_scaling(benchmark):
+    result = run_and_print(benchmark, exp_j2_site_scaling)
+    for n_sites in (2, 4, 8):
+        assert result.summary[f"{n_sites}.serializable"] is True
+        assert result.summary[f"{n_sites}.msgs_per_commit"] > 0

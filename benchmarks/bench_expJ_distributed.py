@@ -1,0 +1,18 @@
+"""EXP-J — distributed read-only global serializability (paper Sections 2, 6).
+
+Distributed version control gives every read-only transaction an
+all-or-nothing view of distributed updates and globally 1SR histories; the
+ref [8]-style distributed MV2PL with per-site CTLs produces torn reads and
+non-serializable global histories under message reordering.
+"""
+
+from benchmarks._support import run_and_print
+from repro.bench.experiments import exp_j_distributed
+
+
+def test_expJ_distributed(benchmark):
+    result = run_and_print(benchmark, exp_j_distributed)
+    assert result.summary["dvc-2pl.torn"] == 0
+    assert result.summary["dvc-2pl.non_1sr_runs"] == 0
+    assert result.summary["dmv2pl.torn"] > 0
+    assert result.summary["dmv2pl.non_1sr_runs"] > 0

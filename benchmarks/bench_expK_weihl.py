@@ -1,0 +1,19 @@
+"""EXP-K — the RO/RW synchronization race in Weihl-style protocols.
+
+Paper Section 2: timestamps-at-initiation forces read-only transactions to
+synchronize with concurrent writers, and writers to re-timestamp past
+reader floors — "neither transaction may proceed with useful work".  Both
+halves are zero under version control.
+"""
+
+from benchmarks._support import run_and_print
+from repro.bench.experiments import exp_k_weihl
+
+
+def test_expK_weihl(benchmark):
+    result = run_and_print(benchmark, exp_k_weihl, duration=500.0)
+    assert result.summary["weihl-ti.ro_sync"] > 0
+    assert result.summary["weihl-ti.retimestamps"] > 0
+    for name in ("vc-2pl", "vc-to"):
+        assert result.summary[f"{name}.ro_sync"] == 0
+        assert result.summary[f"{name}.retimestamps"] == 0

@@ -1,0 +1,18 @@
+"""EXP-L — one version-control module, three concurrency controls.
+
+The paper's architectural claim: the identical VC module and read-only
+execution integrate with 2PL, TO and OCC.  The read-only profile must be
+the same under all three — zero CC work, one VCstart per transaction, zero
+blocking — and every history one-copy serializable.
+"""
+
+from benchmarks._support import run_and_print
+from repro.bench.experiments import VC, exp_l_uniformity
+
+
+def test_expL_uniformity(benchmark):
+    result = run_and_print(benchmark, exp_l_uniformity, duration=400.0)
+    for name in VC:
+        assert result.summary[f"{name}.cc_ro"] == 0
+        assert result.summary[f"{name}.vc_per_ro"] == 1.0
+        assert result.summary[f"{name}.serializable"] is True

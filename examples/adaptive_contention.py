@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Adaptive concurrency control: swapping the CC component at runtime.
+
+Paper Section 1 argues the version-control decoupling enables "adaptive
+concurrency control schemes without introducing major modifications to the
+entire protocol."  This example drives the adaptive scheduler through a
+conflict storm (optimistic validation thrashes -> switch to locking) and a
+calm phase (locking is pure overhead -> switch back), printing each switch
+as it lands.  The version-control module and every read-only transaction
+are untouched throughout.
+
+Run:  python examples/adaptive_contention.py
+"""
+
+from repro.protocols.adaptive import AdaptiveVCScheduler
+
+
+def conflict_storm(db: AdaptiveVCScheduler, rounds: int) -> tuple[int, int]:
+    """Pairs racing on one counter: half must fail validation under OCC."""
+    commits = aborts = 0
+    for _ in range(rounds):
+        if db.mode == "2pl":
+            break  # the scheduler adapted: the storm is survivable now
+        a, b = db.begin(), db.begin()
+        va = db.read(a, "hot").result() or 0
+        vb = db.read(b, "hot").result() or 0
+        db.write(a, "hot", va + 1).result()
+        db.write(b, "hot", vb + 1).result()
+        for txn in (a, b):
+            if db.commit(txn).failed:
+                aborts += 1
+            else:
+                commits += 1
+    return commits, aborts
+
+
+def calm_phase(db: AdaptiveVCScheduler, rounds: int) -> int:
+    for i in range(rounds):
+        t = db.begin()
+        db.write(t, f"wide{i}", i).result()
+        db.commit(t).result()
+    return rounds
+
+
+def report(db: AdaptiveVCScheduler, label: str) -> None:
+    print(
+        f"{label:<28} mode={db.mode:<4} window abort rate={db.abort_rate():.2f} "
+        f"switches={db.counters.get('adaptive.switch_to_2pl') + db.counters.get('adaptive.switch_to_occ')}"
+    )
+
+
+def main() -> None:
+    db = AdaptiveVCScheduler(window=12, high_watermark=0.25, low_watermark=0.05)
+    report(db, "start")
+
+    commits, aborts = conflict_storm(db, 20)
+    report(db, f"after storm ({commits}c/{aborts}a)")
+    assert db.mode == "2pl", "thrashing drove the switch to locking"
+
+    calm_phase(db, 30)
+    report(db, "after calm phase")
+    assert db.mode == "occ", "calm traffic switched back to optimistic"
+
+    # Read-only transactions never noticed any of this.
+    ro = db.begin(read_only=True)
+    value = db.read(ro, "hot").result()
+    db.commit(ro).result()
+    print(f"\nread-only snapshot sees hot={value}; RO CC ops = "
+          f"{db.counters.get('cc.ro')} (zero, in both modes)")
+
+    print(f"switch log (at RW commit #, new mode): {db.switches}")
+    db_report = db.history
+    from repro.histories import assert_one_copy_serializable
+
+    check = assert_one_copy_serializable(db_report)
+    print(f"unified history across both modes: 1SR over {check.transactions} txns")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Banking scenario: consistent audits under concurrent transfers.
+
+The workload the paper's introduction motivates: long read-only report
+transactions (auditors summing every account) running against a stream of
+read-write transfers.  The audit must see a *consistent* balance sheet —
+the bank's total never appears to change — without slowing the transfers
+down.
+
+The script runs the same scenario through the paper's protocol (VC + 2PL)
+and two baselines, showing:
+
+* every audit under every multiversion protocol balances exactly;
+* under VC the audits take zero locks and never block or get blocked;
+* under single-version 2PL the audits fight the transfers for locks;
+* under Reed's MVTO the audits abort transfers.
+
+Run:  python examples/banking_audit.py
+"""
+
+from repro.bench.tables import print_table
+from repro.errors import TransactionAborted
+from repro.protocols.registry import make_scheduler
+from repro.sim.engine import Simulator
+from repro.sim.random_streams import RandomStreams
+
+N_ACCOUNTS = 40
+INITIAL_BALANCE = 1_000
+TOTAL = N_ACCOUNTS * INITIAL_BALANCE
+DURATION = 400.0
+
+
+def seed_accounts(db) -> None:
+    setup = db.begin()
+    for i in range(N_ACCOUNTS):
+        db.write(setup, f"acct{i}", INITIAL_BALANCE).result()
+    db.commit(setup).result()
+
+
+def run_bank(protocol: str, seed: int = 7) -> dict:
+    db = make_scheduler(protocol)
+    seed_accounts(db)
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    rng = streams.stream("bank")
+    stats = {
+        "audits": 0,
+        "balanced_audits": 0,
+        "transfers": 0,
+        "transfer_aborts": 0,
+        "audit_aborts": 0,
+    }
+
+    def teller(worker: int):
+        """Transfers money between random account pairs, forever."""
+        while sim.now < DURATION:
+            yield rng.expovariate(0.5)
+            src, dst = rng.sample(range(N_ACCOUNTS), 2)
+            txn = db.begin()
+            try:
+                yield 1.0
+                a = yield db.read(txn, f"acct{src}")
+                b = yield db.read(txn, f"acct{dst}")
+                amount = rng.randint(1, 50)
+                yield 1.0
+                yield db.write(txn, f"acct{src}", a - amount)
+                yield db.write(txn, f"acct{dst}", b + amount)
+                yield db.commit(txn)
+                stats["transfers"] += 1
+            except TransactionAborted:
+                db.abort(txn)
+                stats["transfer_aborts"] += 1
+
+    def auditor():
+        """Periodically sums every account in one read-only transaction."""
+        while sim.now < DURATION:
+            yield 15.0
+            txn = db.begin(read_only=True)
+            total = 0
+            try:
+                for i in range(N_ACCOUNTS):
+                    yield 0.2
+                    total += yield db.read(txn, f"acct{i}")
+                yield db.commit(txn)
+            except TransactionAborted:
+                db.abort(txn)
+                stats["audit_aborts"] += 1
+                continue
+            stats["audits"] += 1
+            if total == TOTAL:
+                stats["balanced_audits"] += 1
+
+    for worker in range(6):
+        sim.spawn(teller(worker), name=f"teller-{worker}")
+    sim.spawn(auditor(), name="auditor")
+    sim.run()
+
+    stats["protocol"] = protocol
+    stats["audit_blocks"] = db.counters.get("block.ro")
+    stats["audit_cc_ops"] = db.counters.get("cc.ro")
+    stats["transfers_aborted_by_audits"] = db.counters.get("abort.rw.caused_by_readonly")
+    return stats
+
+
+def main() -> None:
+    rows = []
+    for protocol in ("vc-2pl", "vc-to", "vc-occ", "mvto-reed", "sv-2pl"):
+        s = run_bank(protocol)
+        rows.append(
+            [
+                s["protocol"],
+                s["transfers"],
+                s["transfer_aborts"],
+                f'{s["balanced_audits"]}/{s["audits"]}',
+                s["audit_aborts"],
+                s["audit_blocks"],
+                s["audit_cc_ops"],
+                s["transfers_aborted_by_audits"],
+            ]
+        )
+    print_table(
+        [
+            "protocol",
+            "transfers",
+            "transfer aborts",
+            "balanced audits",
+            "audit aborts",
+            "audit blocks",
+            "audit CC ops",
+            "transfers killed by audits",
+        ],
+        rows,
+        "Banking: consistent audits under concurrent transfers",
+    )
+    print(
+        "\nEvery multiversion audit balances exactly; under vc-* the audits"
+        "\ntake zero locks, never block, and never kill a transfer."
+    )
+
+
+if __name__ == "__main__":
+    main()

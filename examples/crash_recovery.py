@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Crash recovery: multiversion storage plus a write-ahead log.
+
+The paper's first sentence: "Multiple versions of data are used in database
+systems to support transaction and system recovery."  This example drives
+the recoverable VC+2PL scheduler through a workload, crashes it at the worst
+possible moments, and shows recovery restoring exactly the committed prefix
+— with the version-control counters resuming correctly.
+
+Run:  python examples/crash_recovery.py
+"""
+
+from repro.protocols.recoverable import RecoverableVC2PLScheduler
+from repro.storage.wal import redo_summary
+
+
+def show_state(db, label: str) -> None:
+    reader = db.begin(read_only=True)
+    balance = db.read(reader, "balance").result()
+    audit = db.read(reader, "audit_rows").result()
+    db.commit(reader).result()
+    print(
+        f"{label:<34} balance={balance!r:<8} audit_rows={audit!r:<8} "
+        f"tnc={db.vc.tnc} vtnc={db.vc.vtnc} log={len(db.log)} records"
+    )
+
+
+def main() -> None:
+    db = RecoverableVC2PLScheduler()
+
+    print("== committed work survives ==")
+    t = db.begin()
+    db.write(t, "balance", 100).result()
+    db.write(t, "audit_rows", 1).result()
+    db.commit(t).result()
+    show_state(db, "after commit #1")
+
+    print("\n== crash with a transaction in flight ==")
+    doomed = db.begin()
+    db.write(doomed, "balance", -999).result()   # staged + logged, not forced
+    db.write(doomed, "audit_rows", -999).result()
+    lost = db.crash()
+    print(f"CRASH: lost {lost} volatile log records (the in-flight writes)")
+    db = db.recovered()
+    show_state(db, "after recovery")
+    assert db.begin(read_only=True).sn == db.vc.vtnc
+
+    print("\n== numbering resumes; history continues ==")
+    t = db.begin()
+    value = db.read(t, "balance").result()
+    db.write(t, "balance", value + 50).result()
+    db.write(t, "audit_rows", 2).result()
+    db.commit(t).result()
+    show_state(db, "after post-recovery commit")
+    print(f"post-recovery transaction number: {t.tn} (continues the sequence)")
+
+    print("\n== a second crash, immediately after the commit point ==")
+    t = db.begin()
+    db.write(t, "balance", 9000).result()
+    db.commit(t).result()       # COMMIT record forced, versions installed
+    db.crash()                  # nothing volatile left to lose
+    db = db.recovered()
+    show_state(db, "after recovery #2")
+    assert db.store.read_latest_committed("balance").value == 9000
+
+    print(f"\nlog record mix: {redo_summary(db.log.durable_records())}")
+    report = db.recovered().vc  # counters from one more recovery round-trip
+    print(f"recovery is idempotent: tnc={report.tnc}, vtnc={report.vtnc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Distributed branches: global audits across database sites.
+
+A bank with accounts partitioned across three branch sites.  Transfers move
+money *between branches* (distributed read-write transactions under 2PC with
+transaction-number agreement); a global auditor reads every account at every
+site in one read-only transaction — with **no a-priori knowledge of the
+sites**, no locks, and a guaranteed globally consistent total.
+
+The second half replays the same traffic against the ref [8]-style
+distributed MV2PL baseline and shows the torn global reads the paper
+criticizes.
+
+Run:  python examples/distributed_branches.py
+"""
+
+from repro.bench.tables import print_table
+from repro.distributed import Courier, DistributedMV2PL, DistributedVCDatabase
+from repro.histories import check_one_copy_serializable
+from repro.histories.mvsg import multiversion_serialization_graph
+
+BRANCHES = (1, 2, 3)
+ACCOUNTS_PER_BRANCH = 5
+INITIAL = 100
+
+
+def account(branch: int, idx: int) -> str:
+    return f"s{branch}:acct{idx}"
+
+
+def all_accounts():
+    return [account(b, i) for b in BRANCHES for i in range(ACCOUNTS_PER_BRANCH)]
+
+
+def seed(db) -> None:
+    setup = db.begin()
+    for key in all_accounts():
+        db.write(setup, key, INITIAL)
+    db.commit(setup)
+
+
+def run_distributed_vc() -> dict:
+    db = DistributedVCDatabase(n_sites=len(BRANCHES))
+    seed(db)
+    total = INITIAL * len(all_accounts())
+    import random
+
+    rng = random.Random(11)
+    balanced_audits = 0
+    audits = 20
+    for round_no in range(audits):
+        # A cross-branch transfer...
+        src = account(rng.choice(BRANCHES), rng.randrange(ACCOUNTS_PER_BRANCH))
+        dst = account(rng.choice(BRANCHES), rng.randrange(ACCOUNTS_PER_BRANCH))
+        if src != dst:
+            t = db.begin()
+            a = db.read(t, src).result()
+            b = db.read(t, dst).result()
+            db.write(t, src, a - 10).result()
+            db.write(t, dst, b + 10).result()
+            db.commit(t).result()
+        # ...then a global audit from a random origin branch.
+        audit = db.begin(read_only=True, origin_site=rng.choice(BRANCHES), fresh=True)
+        observed = sum(db.read(audit, key).result() for key in all_accounts())
+        db.commit(audit).result()
+        if observed == total:
+            balanced_audits += 1
+    report = check_one_copy_serializable(db.history)
+    return {
+        "system": "distributed VC (paper)",
+        "balanced": f"{balanced_audits}/{audits}",
+        "globally 1SR": report.serializable,
+        "messages": db.total_messages(),
+        "a-priori sites needed": "no",
+    }
+
+
+def run_distributed_mv2pl() -> dict:
+    courier = Courier(manual=True)
+    db = DistributedMV2PL(n_sites=len(BRANCHES), courier=courier)
+    seed(db)
+    courier.pump()
+    total = INITIAL * len(all_accounts())
+    import random
+
+    rng = random.Random(11)
+    balanced_audits = 0
+    audits = 20
+    for round_no in range(audits):
+        # Begin the audit: its per-site snapshot fetches are in flight...
+        audit = db.begin(read_only=True, read_sites=list(BRANCHES))
+        courier.pump(1, channel="snapshot")  # only branch 1's state fetched
+        # ...while a cross-branch transfer commits everywhere.
+        src = account(1, rng.randrange(ACCOUNTS_PER_BRANCH))
+        dst = account(2, rng.randrange(ACCOUNTS_PER_BRANCH))
+        t = db.begin()
+        fa, fb = db.read(t, src), db.read(t, dst)
+        courier.pump(channel="default")
+        db.write(t, src, fa.result() - 10)
+        db.write(t, dst, fb.result() + 10)
+        courier.pump(channel="default")
+        db.commit(t)
+        courier.pump(channel="default")
+        # Now the audit's remaining fetches arrive: the torn window closed.
+        courier.pump(channel="snapshot")
+        reads = [db.read(audit, key) for key in all_accounts()]
+        courier.pump()
+        observed = sum(f.result() for f in reads)
+        db.commit(audit)
+        if observed == total:
+            balanced_audits += 1
+    graph = multiversion_serialization_graph(
+        db.history.committed_projection(), db.global_version_order()
+    )
+    return {
+        "system": "distributed MV2PL (ref [8])",
+        "balanced": f"{balanced_audits}/{audits}",
+        "globally 1SR": graph.is_acyclic(),
+        "messages": db.courier.delivered,
+        "a-priori sites needed": "yes",
+    }
+
+
+def main() -> None:
+    rows = []
+    for result in (run_distributed_vc(), run_distributed_mv2pl()):
+        rows.append(
+            [
+                result["system"],
+                result["balanced"],
+                result["globally 1SR"],
+                result["a-priori sites needed"],
+                result["messages"],
+            ]
+        )
+    print_table(
+        ["system", "balanced audits", "globally 1SR", "a-priori sites", "messages"],
+        rows,
+        "Global audits across three branch sites",
+    )
+    print(
+        "\nDistributed VC audits always balance and need no site list;"
+        "\nthe ref [8] baseline tears audits whose snapshot fetches straddle"
+        "\na cross-branch transfer, and its global history is not 1SR."
+    )
+
+
+if __name__ == "__main__":
+    main()

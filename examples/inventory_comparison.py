@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Inventory analytics: compare all eight protocols on one workload.
+
+An e-commerce-style mix — order transactions updating hot stock records,
+dashboard queries scanning many records read-only — run through the full
+protocol registry with the closed-loop simulator.  Prints the comparison
+table the paper argues from: read-only overhead, blocking, aborts caused by
+readers, and end-to-end latency, plus the serializability verdict for every
+history.
+
+Run:  python examples/inventory_comparison.py
+"""
+
+from repro.bench.runner import SimConfig, run_simulation
+from repro.bench.tables import print_table
+from repro.protocols.registry import PROTOCOLS, make_scheduler
+from repro.workload.spec import WorkloadSpec
+
+
+def inventory_workload(seed: int = 3) -> WorkloadSpec:
+    """Hot stock records + wide read-only dashboard scans."""
+    return WorkloadSpec(
+        n_objects=80,
+        ro_fraction=0.6,
+        ro_ops=(6, 14),     # dashboards scan many stock records
+        rw_ops=(2, 5),      # orders touch a few
+        write_fraction=0.7,
+        zipf_theta=1.0,     # best sellers are hot
+        seed=seed,
+    )
+
+
+def main() -> None:
+    config = SimConfig(duration=500.0, n_clients=10)
+    rows = []
+    for name in PROTOCOLS:
+        metrics = run_simulation(make_scheduler(name), inventory_workload(), config)
+        rows.append(
+            [
+                name,
+                metrics.commits,
+                round(metrics.throughput, 3),
+                metrics.per_ro_commit("cc.ro"),
+                metrics.counter("block.ro"),
+                metrics.aborts_ro,
+                metrics.counter("abort.rw.caused_by_readonly"),
+                metrics.latency_ro.mean,
+                metrics.latency_ro.p95,
+                metrics.serializable,
+            ]
+        )
+    print_table(
+        [
+            "protocol",
+            "commits",
+            "throughput",
+            "CC ops/query",
+            "query blocks",
+            "query aborts",
+            "orders killed by queries",
+            "query latency mean",
+            "query latency p95",
+            "1SR",
+        ],
+        rows,
+        "Inventory dashboards vs order traffic (closed-loop simulation)",
+    )
+    print(
+        "\nThe vc-* rows are the paper's mechanism: dashboards cost nothing,"
+        "\nnever wait, never restart, and never hurt the order traffic."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Order-entry workload: integrity invariants across all protocols.
+
+A miniature order-processing system — clerks decrement stock, record sales,
+and take payments; auditors scan the whole database read-only — with two
+cross-object invariants every consistent snapshot must satisfy:
+
+* conservation: stock + sold == initial stock, per item;
+* balanced books: revenue == unit price x total units sold.
+
+Run:  python examples/order_entry_demo.py
+"""
+
+from repro.bench.tables import print_table
+from repro.histories import check_one_copy_serializable
+from repro.protocols.registry import PROTOCOLS, make_scheduler
+from repro.workload.order_entry import OrderEntryConfig, run_order_entry
+
+
+def main() -> None:
+    config = OrderEntryConfig(duration=300.0, n_items=12, n_clerks=6, n_auditors=2)
+    rows = []
+    for name in PROTOCOLS:
+        scheduler = make_scheduler(name)
+        outcome = run_order_entry(scheduler, config)
+        report = check_one_copy_serializable(scheduler.history)
+        rows.append(
+            [
+                name,
+                outcome.orders_placed,
+                outcome.order_retries,
+                outcome.audits,
+                outcome.audit_restarts,
+                outcome.conservation_violations + outcome.books_violations,
+                report.serializable,
+            ]
+        )
+    print_table(
+        [
+            "protocol",
+            "orders",
+            "order retries",
+            "audits",
+            "audit restarts",
+            "invariant violations",
+            "1SR",
+        ],
+        rows,
+        "Order entry: stock conservation + balanced books under load",
+    )
+    print(
+        "\nZero invariant violations everywhere — but only the vc-* rows get"
+        "\nthere without ever restarting an audit."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+All real metadata lives in pyproject.toml; this file exists so that
+`pip install -e .` can use the legacy editable-install path offline.
+"""
+
+from setuptools import setup
+
+setup()

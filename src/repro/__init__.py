@@ -1,0 +1,92 @@
+"""repro — Modular Synchronization in Multiversion Databases.
+
+A complete, executable reproduction of Sen Gupta & Agrawal's 1989 framework
+decoupling *version control* from *concurrency control* in multiversion
+databases, together with the baseline protocols the paper compares against,
+a serializability oracle, a deterministic discrete-event simulator, and the
+distributed extension.
+
+Quickstart::
+
+    from repro import VC2PLScheduler
+
+    db = VC2PLScheduler()
+    writer = db.begin()
+    db.write(writer, "x", 41).result()
+    db.commit(writer).result()
+
+    reader = db.begin(read_only=True)   # snapshot at vtnc; zero CC overhead
+    assert db.read(reader, "x").result() == 41
+    db.commit(reader).result()
+"""
+
+from repro.core import (
+    Database,
+    SN_INFINITY,
+    OpFuture,
+    Scheduler,
+    SnapshotManager,
+    Transaction,
+    TxnClass,
+    TxnState,
+    VersionControl,
+    VersionControlledScheduler,
+)
+from repro.errors import (
+    AbortReason,
+    DeadlockError,
+    ProtocolError,
+    ReproError,
+    TransactionAborted,
+    ValidationError,
+    VersionNotFound,
+)
+from repro.histories import (
+    History,
+    assert_one_copy_serializable,
+    check_one_copy_serializable,
+    is_one_copy_serializable,
+)
+from repro.protocols import (
+    AdaptiveVCScheduler,
+    RecoverableVC2PLScheduler,
+    VC2PLScheduler,
+    VCOCCScheduler,
+    VCTOScheduler,
+)
+from repro.storage import GarbageCollector, MVStore, SVStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbortReason",
+    "AdaptiveVCScheduler",
+    "Database",
+    "RecoverableVC2PLScheduler",
+    "DeadlockError",
+    "GarbageCollector",
+    "History",
+    "MVStore",
+    "OpFuture",
+    "ProtocolError",
+    "ReproError",
+    "SN_INFINITY",
+    "SVStore",
+    "Scheduler",
+    "SnapshotManager",
+    "Transaction",
+    "TransactionAborted",
+    "TxnClass",
+    "TxnState",
+    "VC2PLScheduler",
+    "VCOCCScheduler",
+    "VCTOScheduler",
+    "ValidationError",
+    "VersionControl",
+    "VersionControlledScheduler",
+    "VersionNotFound",
+    "__version__",
+    "assert_one_copy_serializable",
+    "check_one_copy_serializable",
+    "is_one_copy_serializable",
+]

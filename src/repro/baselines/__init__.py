@@ -1,0 +1,15 @@
+"""Comparator protocols the paper discusses in Section 2."""
+
+from repro.baselines.mv2pl_chan import MV2PLScheduler
+from repro.baselines.mvto_reed import MVTOScheduler
+from repro.baselines.sv_2pl import SV2PLScheduler
+from repro.baselines.sv_to import SVTOScheduler
+from repro.baselines.weihl_ti import WeihlTIScheduler
+
+__all__ = [
+    "MV2PLScheduler",
+    "MVTOScheduler",
+    "SV2PLScheduler",
+    "SVTOScheduler",
+    "WeihlTIScheduler",
+]

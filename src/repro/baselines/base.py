@@ -1,0 +1,34 @@
+"""Shared plumbing for baseline schedulers (no version-control module)."""
+
+from __future__ import annotations
+
+from repro.core.interface import Scheduler
+from repro.core.transaction import Transaction
+from repro.errors import AbortReason
+
+
+class BaselineScheduler(Scheduler):
+    """Scheduler base for the comparator protocols.
+
+    Baselines do not own a :class:`~repro.core.version_control.VersionControl`
+    module — integrating versions with the chosen concurrency control in a
+    protocol-specific way is precisely what the paper argues against; these
+    classes reproduce those entangled designs for comparison.
+    """
+
+    def _complete_commit(self, txn: Transaction) -> None:
+        txn.mark_committed()
+        self.counters.note_commit(txn)
+        self.recorder.record_commit(txn)
+        self._finish(txn)
+
+    def _complete_abort(
+        self,
+        txn: Transaction,
+        reason: AbortReason,
+        caused_by_readonly: bool = False,
+    ) -> None:
+        txn.mark_aborted(reason, caused_by_readonly)
+        self.counters.note_abort(txn, reason, caused_by_readonly)
+        self.recorder.record_abort(txn)
+        self._finish(txn)

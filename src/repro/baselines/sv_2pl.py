@@ -1,0 +1,118 @@
+"""Single-version strict two-phase locking — baseline.
+
+The no-multiversioning control: *every* transaction, read-only ones
+included, acquires locks.  Read-only transactions therefore block behind
+writers, delay writers, and participate in deadlocks — the costs the paper's
+Section 1 motivates eliminating with multiple versions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.baselines.base import BaselineScheduler
+from repro.cc.lock_manager import LockManager
+from repro.cc.locks import LockMode
+from repro.core.futures import OpFuture, resolved
+from repro.core.transaction import Transaction
+from repro.errors import AbortReason, DeadlockError, ProtocolError
+from repro.storage.svstore import SVStore
+
+
+class SV2PLScheduler(BaselineScheduler):
+    """Strict 2PL over a single-version store; no transaction classes."""
+
+    name = "sv-2pl"
+    multiversion = False
+
+    def __init__(self, store: SVStore | None = None, victim_policy: str = "requester"):
+        super().__init__()
+        self.store = store if store is not None else SVStore()
+        self.locks = LockManager(
+            victim_policy=victim_policy,
+            on_block=self._note_block,
+            on_deadlock=lambda v, c: self.counters.bump("deadlock"),
+        )
+        self._tn_counter = 0
+        self._txn_by_id: dict[int, Transaction] = {}
+
+    def _on_begin(self, txn: Transaction) -> None:
+        self._txn_by_id[txn.txn_id] = txn
+
+    def read(self, txn: Transaction, key: Hashable) -> OpFuture:
+        txn.require_active()
+        # Read-only transactions lock like everyone else.
+        self.counters.note_cc_interaction(txn, "r-lock")
+        result = OpFuture(label=f"r{txn.txn_id}[{key}]")
+        lock = self.locks.acquire(txn.txn_id, key, LockMode.SHARED)
+
+        def _locked(done: OpFuture) -> None:
+            if done.failed:
+                self._deadlock_abort(txn, done.error, result)
+                return
+            if key in txn.write_set:
+                txn.record_read(key, -1)
+                self.recorder.record_read(txn, key, None)
+                result.resolve(txn.write_set[key])
+                return
+            value, writer_tn = self.store.read(key)
+            txn.record_read(key, writer_tn)
+            self.recorder.record_read(txn, key, writer_tn)
+            result.resolve(value)
+
+        lock.add_callback(_locked)
+        return result
+
+    def write(self, txn: Transaction, key: Hashable, value: Any) -> OpFuture:
+        txn.require_active()
+        if txn.is_read_only:
+            raise ProtocolError(f"transaction {txn.txn_id} is read-only")
+        self.counters.note_cc_interaction(txn, "w-lock")
+        result = OpFuture(label=f"w{txn.txn_id}[{key}]")
+        lock = self.locks.acquire(txn.txn_id, key, LockMode.EXCLUSIVE)
+
+        def _locked(done: OpFuture) -> None:
+            if done.failed:
+                self._deadlock_abort(txn, done.error, result)
+                return
+            txn.record_write(key, value)
+            self.recorder.record_write(txn, key)
+            result.resolve(None)
+
+        lock.add_callback(_locked)
+        return result
+
+    def commit(self, txn: Transaction) -> OpFuture:
+        txn.require_active()
+        if txn.write_set:
+            self._tn_counter += 1
+            txn.tn = self._tn_counter
+            for key, value in txn.write_set.items():
+                self.store.apply(key, value, txn.tn)
+        elif not txn.is_read_only:
+            # A read-write transaction that happened not to write still needs
+            # an identity in the recorded history.
+            self._tn_counter += 1
+            txn.tn = self._tn_counter
+        self._txn_by_id.pop(txn.txn_id, None)
+        self._complete_commit(txn)  # record before lock release wakes readers
+        self.locks.release_all(txn.txn_id)
+        return resolved(None, label=f"commit T{txn.txn_id}")
+
+    def abort(self, txn: Transaction, reason: AbortReason = AbortReason.USER_REQUESTED) -> None:
+        if txn.is_finished:
+            return
+        self.locks.release_all(txn.txn_id)
+        self._txn_by_id.pop(txn.txn_id, None)
+        self._complete_abort(txn, reason)
+
+    def _deadlock_abort(self, txn: Transaction, error: BaseException | None, result: OpFuture) -> None:
+        assert isinstance(error, DeadlockError)
+        if txn.is_active:
+            self.abort(txn, AbortReason.DEADLOCK_VICTIM)
+        result.fail(error)
+
+    def _note_block(self, txn_id: int, key: Hashable) -> None:
+        txn = self._txn_by_id.get(txn_id)
+        if txn is not None:
+            self.counters.note_block(txn, "lock")

@@ -1,0 +1,80 @@
+"""Regenerate every experiment table in one run.
+
+Usage::
+
+    python -m repro.bench.report            # print all tables
+    python -m repro.bench.report EXP-A ...  # print selected experiments
+
+The output is the source of the measured tables in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench.ablations import (
+    ablation_adaptive,
+    ablation_lock_granularity,
+    ablation_occ_validation,
+    ablation_gc_strategies,
+    ablation_victim_policy,
+)
+from repro.bench.experiments import (
+    exp_a_ro_overhead,
+    exp_b_ro_caused_aborts,
+    exp_c_ro_blocking,
+    exp_d_visibility_lag,
+    exp_e_mv_vs_sv,
+    exp_f_ctl_cost,
+    exp_g_deadlock,
+    exp_h_gc,
+    exp_i_serializability,
+    exp_j2_site_scaling,
+    exp_j_distributed,
+    exp_k_weihl,
+    exp_l_uniformity,
+)
+from repro.bench.tables import render_table
+
+EXPERIMENTS = {
+    "EXP-A": exp_a_ro_overhead,
+    "EXP-B": exp_b_ro_caused_aborts,
+    "EXP-C": exp_c_ro_blocking,
+    "EXP-D": exp_d_visibility_lag,
+    "EXP-E": exp_e_mv_vs_sv,
+    "EXP-F": exp_f_ctl_cost,
+    "EXP-G": exp_g_deadlock,
+    "EXP-H": exp_h_gc,
+    "EXP-I": exp_i_serializability,
+    "EXP-J": exp_j_distributed,
+    "EXP-J2": exp_j2_site_scaling,
+    "EXP-K": exp_k_weihl,
+    "EXP-L": exp_l_uniformity,
+    "ABL-GC": ablation_gc_strategies,
+    "ABL-VICTIM": ablation_victim_policy,
+    "ABL-ADAPT": ablation_adaptive,
+    "ABL-GRANULARITY": ablation_lock_granularity,
+    "ABL-OCC": ablation_occ_validation,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    selected = argv or list(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}; known: {list(EXPERIMENTS)}")
+        return 2
+    for name in selected:
+        start = time.perf_counter()
+        result = EXPERIMENTS[name]()
+        elapsed = time.perf_counter() - start
+        print()
+        print(render_table(result.headers, result.rows, f"{result.exp_id} — {result.title}"))
+        print(f"({elapsed:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,156 @@
+"""Closed-loop simulation runner.
+
+Runs any scheduler under a workload with ``n_clients`` concurrent client
+processes over the virtual clock: each client repeatedly draws a transaction
+template, executes its operations (with service and think delays), and
+commits; an aborted transaction is retried up to ``max_restarts`` times
+(counted), as a real application would.
+
+After the run the recorded history is fed to the one-copy-serializability
+oracle (skippable for very large runs), and all scheduler counters are
+merged into the returned :class:`~repro.bench.metrics.RunMetrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.metrics import RunMetrics
+from repro.core.interface import Scheduler
+from repro.core.vc_scheduler import VersionControlledScheduler
+from repro.errors import TransactionAborted, VersionNotFound
+from repro.histories.checker import check_one_copy_serializable
+from repro.sim.engine import Simulator
+from repro.sim.stats import TimeWeighted
+from repro.workload.spec import TxnSpec, WorkloadGenerator, WorkloadSpec
+
+
+@dataclass
+class SimConfig:
+    """Knobs of the closed-loop simulation."""
+
+    duration: float = 1_000.0
+    n_clients: int = 8
+    op_service_time: float = 1.0
+    think_time_mean: float = 2.0
+    max_restarts: int = 10
+    check_serializability: bool = True
+    #: Probability that a client abandons (user-aborts) its transaction
+    #: after any operation — failure injection for robustness tests.
+    user_abort_probability: float = 0.0
+    #: Run the garbage collector every this many time units (VC schedulers
+    #: only); 0 disables collection.
+    gc_period: float = 0.0
+
+
+def run_simulation(
+    scheduler: Scheduler,
+    workload: WorkloadSpec,
+    config: SimConfig | None = None,
+) -> RunMetrics:
+    """Execute one closed-loop run and return its metrics."""
+    config = config or SimConfig()
+    sim = Simulator()
+    generator = WorkloadGenerator(workload)
+    think_rng = generator.streams.stream("think")
+    metrics = RunMetrics(protocol=scheduler.name)
+
+    # Track version-control lag over virtual time for VC schedulers.
+    if isinstance(scheduler, VersionControlledScheduler):
+        lag = TimeWeighted(0.0, 0.0)
+        metrics.vc_lag = lag
+        scheduler.vc.subscribe(lambda _ev, _n: lag.update(sim.now, scheduler.vc.lag))
+
+    def client(client_id: int):
+        while sim.now < config.duration:
+            think = think_rng.expovariate(1.0 / config.think_time_mean)
+            yield think
+            if sim.now >= config.duration:
+                return
+            spec = generator.next_txn()
+            yield from _run_transaction(spec)
+
+    def _run_transaction(spec: TxnSpec):
+        attempts = 0
+        while attempts <= config.max_restarts:
+            attempts += 1
+            start = sim.now
+            txn = scheduler.begin(read_only=spec.read_only)
+            if spec.read_only and isinstance(scheduler, VersionControlledScheduler):
+                metrics.staleness_ro.add(scheduler.vc.lag)
+            try:
+                for op in spec.ops:
+                    yield config.op_service_time
+                    if op.kind == "r":
+                        yield scheduler.read(txn, op.key)
+                    else:
+                        yield scheduler.write(txn, op.key, sim.now)
+                    if (
+                        config.user_abort_probability > 0
+                        and think_rng.random() < config.user_abort_probability
+                    ):
+                        scheduler.abort(txn)
+                        scheduler.counters.bump("user_abort.injected")
+                        return
+                yield scheduler.commit(txn)
+            except (TransactionAborted, VersionNotFound):
+                scheduler.abort(txn)
+                if spec.read_only:
+                    metrics.aborts_ro += 1
+                else:
+                    metrics.aborts_rw += 1
+                if attempts <= config.max_restarts:
+                    metrics.restarts += 1
+                    yield think_rng.expovariate(1.0 / config.think_time_mean)
+                    continue
+                return
+            latency = sim.now - start
+            if spec.read_only:
+                metrics.commits_ro += 1
+                metrics.latency_ro.add(latency)
+            else:
+                metrics.commits_rw += 1
+                metrics.latency_rw.add(latency)
+            return
+
+    def collector():
+        assert isinstance(scheduler, VersionControlledScheduler)
+        while sim.now < config.duration:
+            yield config.gc_period
+            scheduler.gc.collect()
+
+    for i in range(config.n_clients):
+        sim.spawn(client(i), name=f"client-{i}")
+    if config.gc_period > 0 and isinstance(scheduler, VersionControlledScheduler):
+        sim.spawn(collector(), name="gc")
+
+    sim.run()
+    metrics.duration = sim.now if sim.now > 0 else config.duration
+
+    # Post-run bookkeeping.
+    metrics.counters = scheduler.counters.as_dict()
+    store = getattr(scheduler, "store", None)
+    if store is not None and hasattr(store, "version_count"):
+        metrics.version_count_final = store.version_count()
+        metrics.gc_discarded = getattr(store, "gc_discarded", 0)
+    if config.check_serializability:
+        report = check_one_copy_serializable(scheduler.history)
+        metrics.serializable = report.serializable
+        metrics.history_transactions = report.transactions
+    return metrics
+
+
+def run_protocols(
+    protocol_names,
+    workload: WorkloadSpec,
+    config: SimConfig | None = None,
+    **scheduler_kwargs,
+) -> dict[str, RunMetrics]:
+    """Run the same workload through several protocols."""
+    from repro.protocols.registry import make_scheduler
+
+    results: dict[str, RunMetrics] = {}
+    for name in protocol_names:
+        scheduler = make_scheduler(name, **scheduler_kwargs)
+        results[name] = run_simulation(scheduler, workload, config)
+    return results

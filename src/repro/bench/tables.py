@@ -1,0 +1,52 @@
+"""Plain-text table rendering for experiment output.
+
+Every benchmark prints its results through these helpers so EXPERIMENTS.md
+rows can be regenerated verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[format_value(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in cells)) if cells else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def print_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    text = render_table(headers, rows, title)
+    print()
+    print(text)
+    return text

@@ -1,0 +1,7 @@
+"""Concurrency-control substrates: locks, deadlock handling."""
+
+from repro.cc.deadlock import WaitsForGraph, choose_victim
+from repro.cc.lock_manager import LockManager
+from repro.cc.locks import LockMode, compatible
+
+__all__ = ["LockManager", "LockMode", "WaitsForGraph", "choose_victim", "compatible"]

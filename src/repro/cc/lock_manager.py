@@ -1,0 +1,265 @@
+"""Strict two-phase lock manager.
+
+Grants shared/exclusive locks with FIFO wait queues, lock upgrades, and
+continuous deadlock detection over a waits-for graph.  Threadless: a blocked
+``acquire`` returns a pending :class:`~repro.core.futures.OpFuture` that the
+manager resolves when a release makes the grant possible, or fails with
+:class:`~repro.errors.DeadlockError` when the requester (or another cycle
+member, per policy) is chosen as a deadlock victim.
+
+Grant discipline:
+
+* a request is granted immediately when the requester already holds a
+  covering mode, or when it is compatible with all current holders and no
+  incompatible request is queued ahead (no overtaking);
+* an upgrade (S held, X requested) jumps to the front of the wait queue and
+  is granted as soon as the requester is the sole holder;
+* releases grant the longest compatible prefix of the queue.
+
+Invariant relied on by callers: a transaction has at most one pending
+request at a time (drivers issue operations sequentially per transaction).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+from repro.cc.deadlock import VictimPolicy, WaitsForGraph, choose_victim
+from repro.cc.locks import LockMode, compatible
+from repro.core.futures import OpFuture
+from repro.errors import DeadlockError, ProtocolError
+
+
+class _Request:
+    __slots__ = ("txn_id", "mode", "future", "upgrade")
+
+    def __init__(self, txn_id: int, mode: LockMode, future: OpFuture, upgrade: bool):
+        self.txn_id = txn_id
+        self.mode = mode
+        self.future = future
+        self.upgrade = upgrade
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "upgrade" if self.upgrade else "acquire"
+        return f"<{kind} T{self.txn_id} {self.mode.value}>"
+
+
+class _LockState:
+    """Per-key lock table entry: granted modes plus FIFO waiters."""
+
+    __slots__ = ("granted", "queue")
+
+    def __init__(self) -> None:
+        self.granted: dict[int, LockMode] = {}
+        self.queue: list[_Request] = []
+
+
+class LockManager:
+    """S/X lock manager with deadlock detection.
+
+    Args:
+        victim_policy: which cycle member aborts on deadlock.
+        on_block: optional callback ``(txn_id, key)`` fired when a request
+            blocks — schedulers use it to bump their counters.
+        on_deadlock: optional callback ``(victim_id, cycle)`` fired when a
+            victim is selected, before its future fails.
+    """
+
+    def __init__(
+        self,
+        victim_policy: VictimPolicy = "requester",
+        on_block: Callable[[int, Hashable], None] | None = None,
+        on_deadlock: Callable[[int, list[int]], None] | None = None,
+        waits_for: WaitsForGraph | None = None,
+    ):
+        self._table: dict[Hashable, _LockState] = {}
+        self._held_keys: dict[int, set[Hashable]] = {}
+        self._pending_key: dict[int, Hashable] = {}
+        # A waits-for graph may be shared by several managers (one per
+        # distributed site) so cycles spanning sites are detected; with a
+        # shared graph the victim policy must be "requester", the only
+        # transaction guaranteed to have its pending request in *this*
+        # manager.
+        self.waits_for = waits_for if waits_for is not None else WaitsForGraph()
+        self.victim_policy = victim_policy
+        self._on_block = on_block
+        self._on_deadlock = on_deadlock
+        #: Total deadlocks resolved.
+        self.deadlocks = 0
+        #: Total requests that had to wait.
+        self.blocks = 0
+
+    # -- introspection -------------------------------------------------------
+
+    def holders(self, key: Hashable) -> dict[int, LockMode]:
+        state = self._table.get(key)
+        return dict(state.granted) if state else {}
+
+    def waiting(self, key: Hashable) -> list[int]:
+        state = self._table.get(key)
+        return [r.txn_id for r in state.queue] if state else []
+
+    def held_by(self, txn_id: int) -> set[Hashable]:
+        return set(self._held_keys.get(txn_id, ()))
+
+    def holds(self, txn_id: int, key: Hashable, mode: LockMode) -> bool:
+        state = self._table.get(key)
+        if not state or txn_id not in state.granted:
+            return False
+        return state.granted[txn_id].covers(mode)
+
+    def is_idle(self) -> bool:
+        """True when no locks are held and no requests wait (test invariant)."""
+        return all(not s.granted and not s.queue for s in self._table.values())
+
+    # -- acquire ------------------------------------------------------------------
+
+    def acquire(self, txn_id: int, key: Hashable, mode: LockMode) -> OpFuture:
+        """Request ``mode`` on ``key``; the future resolves when granted."""
+        if txn_id in self._pending_key:
+            raise ProtocolError(
+                f"transaction {txn_id} already has a pending lock request on "
+                f"{self._pending_key[txn_id]!r}"
+            )
+        state = self._table.setdefault(key, _LockState())
+        future = OpFuture(label=f"{mode.value}-lock({key}) T{txn_id}")
+
+        held = state.granted.get(txn_id)
+        if held is not None and held.covers(mode):
+            future.resolve(None)
+            return future
+
+        upgrade = held is LockMode.SHARED and mode is LockMode.EXCLUSIVE
+        request = _Request(txn_id, mode, future, upgrade)
+
+        if self._grantable(state, request):
+            self._grant(state, request, key)
+            return future
+
+        # Block: upgrades go to the front (they already hold S and must not
+        # wait behind new S requests that could never be granted past them).
+        self.blocks += 1
+        if upgrade:
+            pos = 0
+            while pos < len(state.queue) and state.queue[pos].upgrade:
+                pos += 1
+            state.queue.insert(pos, request)
+        else:
+            state.queue.append(request)
+        self._pending_key[txn_id] = key
+        self._add_wait_edges(state, request)
+        if self._on_block is not None:
+            self._on_block(txn_id, key)
+        self._detect(requester=txn_id)
+        return future
+
+    def _grantable(self, state: _LockState, request: _Request) -> bool:
+        if request.upgrade:
+            # Sole holder (itself) and nothing queued ahead of upgrades.
+            return set(state.granted) == {request.txn_id}
+        if state.queue:
+            return False  # no overtaking
+        return all(
+            compatible(mode, request.mode)
+            for holder, mode in state.granted.items()
+            if holder != request.txn_id
+        )
+
+    def _grant(self, state: _LockState, request: _Request, key: Hashable) -> None:
+        state.granted[request.txn_id] = request.mode
+        self._held_keys.setdefault(request.txn_id, set()).add(key)
+        request.future.resolve(None)
+
+    def _add_wait_edges(self, state: _LockState, request: _Request) -> None:
+        for holder, mode in state.granted.items():
+            if holder != request.txn_id and not compatible(mode, request.mode):
+                self.waits_for.add(request.txn_id, holder)
+        for queued in state.queue:
+            if queued is request:
+                break
+            if queued.txn_id != request.txn_id and not (
+                compatible(queued.mode, request.mode)
+                and compatible(request.mode, queued.mode)
+            ):
+                self.waits_for.add(request.txn_id, queued.txn_id)
+
+    # -- release ---------------------------------------------------------------------
+
+    def release_all(self, txn_id: int) -> None:
+        """Release every lock of ``txn_id`` and cancel its pending request."""
+        self._cancel_pending(txn_id)
+        keys = self._held_keys.pop(txn_id, set())
+        for key in keys:
+            state = self._table[key]
+            state.granted.pop(txn_id, None)
+            self._grant_scan(key, state)
+
+    def _cancel_pending(self, txn_id: int) -> None:
+        key = self._pending_key.pop(txn_id, None)
+        if key is None:
+            return
+        state = self._table[key]
+        state.queue = [r for r in state.queue if r.txn_id != txn_id]
+        self.waits_for.remove_waiter(txn_id)
+        # Removing a waiter can unblock those queued behind it.
+        self._grant_scan(key, state)
+
+    def _grant_scan(self, key: Hashable, state: _LockState) -> None:
+        """Grant the longest now-compatible prefix of the wait queue."""
+        granted_any = True
+        while granted_any and state.queue:
+            granted_any = False
+            head = state.queue[0]
+            if self._grantable_queued(state, head):
+                state.queue.pop(0)
+                self._pending_key.pop(head.txn_id, None)
+                self.waits_for.remove_waiter(head.txn_id)
+                self._grant(state, head, key)
+                granted_any = True
+        self._refresh_wait_edges(state)
+
+    def _grantable_queued(self, state: _LockState, request: _Request) -> bool:
+        if request.upgrade:
+            return set(state.granted) == {request.txn_id}
+        return all(
+            compatible(mode, request.mode)
+            for holder, mode in state.granted.items()
+            if holder != request.txn_id
+        )
+
+    def _refresh_wait_edges(self, state: _LockState) -> None:
+        """Rebuild waiters' edges for one key after holders changed."""
+        for request in state.queue:
+            self.waits_for.remove_waiter(request.txn_id)
+        for idx, request in enumerate(state.queue):
+            for holder, mode in state.granted.items():
+                if holder != request.txn_id and not compatible(mode, request.mode):
+                    self.waits_for.add(request.txn_id, holder)
+            for queued in state.queue[:idx]:
+                if queued.txn_id != request.txn_id and not (
+                    compatible(queued.mode, request.mode)
+                    and compatible(request.mode, queued.mode)
+                ):
+                    self.waits_for.add(request.txn_id, queued.txn_id)
+
+    # -- deadlock ---------------------------------------------------------------------
+
+    def _detect(self, requester: int) -> None:
+        cycle = self.waits_for.find_cycle()
+        if cycle is None:
+            return
+        victim = choose_victim(cycle, self.victim_policy, requester)
+        self.deadlocks += 1
+        if self._on_deadlock is not None:
+            self._on_deadlock(victim, cycle)
+        key = self._pending_key.pop(victim, None)
+        error = DeadlockError(victim, tuple(cycle))
+        if key is not None:
+            state = self._table[key]
+            request = next(r for r in state.queue if r.txn_id == victim)
+            state.queue.remove(request)
+            self.waits_for.remove_waiter(victim)
+            self._grant_scan(key, state)
+            request.future.fail(error)
+        else:  # pragma: no cover - cycle members always wait
+            raise ProtocolError(f"deadlock victim {victim} has no pending request")

@@ -1,0 +1,52 @@
+"""Generic per-key wait lists for timestamp-style protocols.
+
+Timestamp protocols block operations behind *pending writes* rather than
+locks.  A blocked operation is represented by a retry closure: calling it
+re-attempts the operation against current state and reports whether it
+completed (resolved or failed its future) or must keep waiting.  The owner
+wakes a key's waiters whenever that key's pending set changes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+from repro.core.transaction import Transaction
+
+#: A retry closure: True when the operation completed (either way).
+Attempt = Callable[[], bool]
+
+
+class WaitList:
+    """Parked operations keyed by the object they wait on."""
+
+    def __init__(self) -> None:
+        self._parked: dict[Hashable, list[tuple[Transaction, Attempt]]] = {}
+
+    def park(self, key: Hashable, txn: Transaction, attempt: Attempt) -> None:
+        self._parked.setdefault(key, []).append((txn, attempt))
+
+    def wake(self, keys) -> None:
+        """Re-drive every operation parked on ``keys``; re-park the rest."""
+        for key in list(keys):
+            parked = self._parked.pop(key, None)
+            if not parked:
+                continue
+            still_blocked = [(txn, attempt) for txn, attempt in parked if not attempt()]
+            if still_blocked:
+                self._parked.setdefault(key, []).extend(still_blocked)
+
+    def drop_transaction(self, txn: Transaction) -> None:
+        """Remove all parked operations of ``txn`` (it aborted)."""
+        for key in list(self._parked):
+            remaining = [(t, a) for t, a in self._parked[key] if t is not txn]
+            if remaining:
+                self._parked[key] = remaining
+            else:
+                del self._parked[key]
+
+    def waiting_on(self, key: Hashable) -> int:
+        return len(self._parked.get(key, ()))
+
+    def is_empty(self) -> bool:
+        return not self._parked

@@ -1,0 +1,165 @@
+"""The scheduler interface every protocol implements, plus instrumentation.
+
+A scheduler is a single-threaded state machine: ``begin``, ``read``,
+``write``, ``commit`` and ``abort`` are plain method calls that either take
+effect immediately or park the operation on an internal wait list, returning
+a pending :class:`~repro.core.futures.OpFuture` in that case.  No scheduler
+ever blocks the calling thread.
+
+Instrumentation is built in rather than bolted on because the paper's claims
+*are* instrumentation statements: "read-only transactions do not have any
+concurrency control overhead", "cannot cause aborts of read-write
+transactions", "may be blocked due to a pending write".  Every scheduler
+therefore counts, uniformly:
+
+* concurrency-control interactions, split by transaction class — calls into
+  the CC component (lock requests, timestamp checks, validations);
+* version-control interactions, split by class;
+* blocking events and which class suffered them;
+* aborts by reason, and whether a read-only transaction caused them.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter
+from typing import Any, Hashable
+
+from repro.core.futures import OpFuture
+from repro.core.transaction import Transaction, TxnClass
+from repro.errors import AbortReason
+from repro.histories.recorder import HistoryRecorder
+
+
+class SchedulerCounters:
+    """Uniform event counters kept by every scheduler.
+
+    A thin wrapper over :class:`collections.Counter` with helper methods for
+    the events every experiment aggregates.  Protocol-specific events use
+    free-form names via :meth:`bump` (e.g. ``"weihl.retry"``, ``"ctl.scan"``)
+    so new protocols never require schema changes here.
+    """
+
+    def __init__(self) -> None:
+        self._events: Counter[str] = Counter()
+
+    # -- generic -------------------------------------------------------------
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self._events[name] += amount
+
+    def get(self, name: str) -> int:
+        return self._events.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._events)
+
+    # -- canonical events -------------------------------------------------------
+
+    def _suffix(self, txn: Transaction) -> str:
+        return "ro" if txn.is_read_only else "rw"
+
+    def note_begin(self, txn: Transaction) -> None:
+        self.bump(f"begin.{self._suffix(txn)}")
+
+    def note_commit(self, txn: Transaction) -> None:
+        self.bump(f"commit.{self._suffix(txn)}")
+
+    def note_abort(self, txn: Transaction, reason: AbortReason, caused_by_readonly: bool) -> None:
+        suffix = self._suffix(txn)
+        self.bump(f"abort.{suffix}")
+        self.bump(f"abort.{suffix}.{reason.value}")
+        if caused_by_readonly and not txn.is_read_only:
+            self.bump("abort.rw.caused_by_readonly")
+
+    def note_cc_interaction(self, txn: Transaction, kind: str = "op") -> None:
+        """One call into the concurrency-control component for ``txn``."""
+        self.bump(f"cc.{self._suffix(txn)}")
+        self.bump(f"cc.{self._suffix(txn)}.{kind}")
+
+    def note_vc_interaction(self, txn: Transaction, kind: str) -> None:
+        """One call into the version-control component for ``txn``."""
+        self.bump(f"vc.{self._suffix(txn)}")
+        self.bump(f"vc.{self._suffix(txn)}.{kind}")
+
+    def note_block(self, txn: Transaction, cause: str = "") -> None:
+        self.bump(f"block.{self._suffix(txn)}")
+        if cause:
+            self.bump(f"block.{self._suffix(txn)}.{cause}")
+
+    def note_sync_write(self, txn: Transaction, kind: str) -> None:
+        """A synchronization *write* (shared mutable CC state mutated).
+
+        Reed's MVTO read-only reads update version read timestamps; the
+        paper calls this out as overhead and as the mechanism by which
+        read-only transactions abort writers.  EXP-A counts these.
+        """
+        self.bump(f"syncwrite.{self._suffix(txn)}")
+        self.bump(f"syncwrite.{self._suffix(txn)}.{kind}")
+
+
+class Scheduler(abc.ABC):
+    """Abstract scheduler.
+
+    Concrete protocols (VC+2PL, VC+TO, VC+OCC, and the baselines) subclass
+    this.  Shared plumbing — history recording, counters, class bookkeeping —
+    lives here; synchronization policy lives in the subclasses.
+    """
+
+    #: Short machine name, e.g. ``"vc-2pl"``; used by the registry and benches.
+    name: str = "abstract"
+    #: Whether the protocol keeps multiple versions (False for SV baselines).
+    multiversion: bool = True
+
+    def __init__(self) -> None:
+        self.recorder = HistoryRecorder()
+        self.counters = SchedulerCounters()
+        self._active: dict[int, Transaction] = {}
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def begin(self, read_only: bool = False) -> Transaction:
+        """Start a transaction of the given class and return its descriptor."""
+        txn_class = TxnClass.READ_ONLY if read_only else TxnClass.READ_WRITE
+        txn = Transaction(txn_class)
+        self._active[txn.txn_id] = txn
+        self.counters.note_begin(txn)
+        self.recorder.record_begin(txn)
+        self._on_begin(txn)
+        return txn
+
+    @abc.abstractmethod
+    def _on_begin(self, txn: Transaction) -> None:
+        """Protocol hook: assign numbers/timestamps, register with VC, etc."""
+
+    @abc.abstractmethod
+    def read(self, txn: Transaction, key: Hashable) -> OpFuture:
+        """Issue ``r[key]``; resolves with the value read."""
+
+    @abc.abstractmethod
+    def write(self, txn: Transaction, key: Hashable, value: Any) -> OpFuture:
+        """Issue ``w[key]``; resolves with None when the write is accepted."""
+
+    @abc.abstractmethod
+    def commit(self, txn: Transaction) -> OpFuture:
+        """Finish the transaction; resolves with None once durable."""
+
+    @abc.abstractmethod
+    def abort(self, txn: Transaction, reason: AbortReason = AbortReason.USER_REQUESTED) -> None:
+        """Abort immediately, releasing whatever the protocol holds."""
+
+    # -- shared helpers -----------------------------------------------------------
+
+    def _finish(self, txn: Transaction) -> None:
+        self._active.pop(txn.txn_id, None)
+
+    def active_transactions(self) -> list[Transaction]:
+        return list(self._active.values())
+
+    @property
+    def history(self):
+        """The multiversion history recorded so far."""
+        return self.recorder.history
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} active={len(self._active)}>"

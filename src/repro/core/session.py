@@ -1,0 +1,147 @@
+"""User-facing session API.
+
+The scheduler interface is deliberately low-level (explicit descriptors,
+futures).  :class:`Database` wraps any scheduler in the ergonomic API an
+application would actually use::
+
+    db = Database("vc-2pl")
+    with db.transaction() as txn:
+        txn["x"] = txn["x"] + 1          # read/write by subscript
+
+    with db.snapshot() as snap:           # read-only, Figure 2 underneath
+        print(snap["x"])
+
+    total = db.run(transfer, retries=5)   # auto-retry on aborts
+
+Sessions are for *sequential* client code: an operation that would block on
+another in-flight transaction raises
+:class:`~repro.errors.FutureNotReady` rather than deadlocking the caller —
+concurrent interleavings belong to the scripted drivers and the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable
+
+from repro.core.interface import Scheduler
+from repro.core.transaction import Transaction
+from repro.errors import AbortReason, TransactionAborted
+
+
+class TransactionContext:
+    """Context-manager handle over one transaction."""
+
+    def __init__(self, scheduler: Scheduler, txn: Transaction):
+        self._scheduler = scheduler
+        self._txn = txn
+
+    # -- operations -----------------------------------------------------------
+
+    @property
+    def txn(self) -> Transaction:
+        """The underlying descriptor (tn, sn, state...)."""
+        return self._txn
+
+    def read(self, key: Hashable) -> Any:
+        return self._scheduler.read(self._txn, key).result()
+
+    def write(self, key: Hashable, value: Any) -> None:
+        self._scheduler.write(self._txn, key, value).result()
+
+    def read_many(self, keys: Iterable[Hashable]) -> dict[Hashable, Any]:
+        return {key: self.read(key) for key in keys}
+
+    __getitem__ = read
+    __setitem__ = write
+
+    def abort(self) -> None:
+        """Abort explicitly; exiting the context is then a no-op."""
+        self._scheduler.abort(self._txn, AbortReason.USER_REQUESTED)
+
+    # -- context management ------------------------------------------------------
+
+    def __enter__(self) -> "TransactionContext":
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        if self._txn.is_finished:
+            # Already aborted (protocol rejection or explicit abort).
+            return False
+        if exc_type is None:
+            self._scheduler.commit(self._txn).result()
+            return False
+        self._scheduler.abort(self._txn, AbortReason.USER_REQUESTED)
+        return False  # propagate the exception
+
+
+class Database:
+    """Convenience facade binding a scheduler to the session API."""
+
+    def __init__(self, scheduler: Scheduler | str = "vc-2pl", **scheduler_kwargs):
+        if isinstance(scheduler, str):
+            from repro.protocols.registry import make_scheduler
+
+            scheduler = make_scheduler(scheduler, **scheduler_kwargs)
+        elif scheduler_kwargs:
+            raise TypeError("scheduler kwargs only apply when passing a name")
+        self.scheduler = scheduler
+
+    # -- transactions -----------------------------------------------------------
+
+    def transaction(self) -> TransactionContext:
+        """A read-write transaction as a context manager."""
+        return TransactionContext(self.scheduler, self.scheduler.begin())
+
+    def snapshot(self) -> TransactionContext:
+        """A read-only transaction (Figure 2) as a context manager."""
+        return TransactionContext(
+            self.scheduler, self.scheduler.begin(read_only=True)
+        )
+
+    def run(
+        self,
+        body: Callable[[TransactionContext], Any],
+        retries: int = 10,
+        read_only: bool = False,
+    ) -> Any:
+        """Execute ``body`` transactionally, retrying on protocol aborts.
+
+        ``body`` receives a :class:`TransactionContext`; its return value is
+        returned after a successful commit.  Protocol-initiated aborts
+        (timestamp rejections, deadlock victims, validation failures) are
+        retried up to ``retries`` times; the last error is re-raised when
+        retries run out.  Exceptions raised by ``body`` itself abort and
+        propagate immediately.
+        """
+        last_error: TransactionAborted | None = None
+        for _ in range(retries + 1):
+            txn = self.scheduler.begin(read_only=read_only)
+            context = TransactionContext(self.scheduler, txn)
+            try:
+                result = body(context)
+                self.scheduler.commit(txn).result()
+                return result
+            except TransactionAborted as error:
+                self.scheduler.abort(txn)
+                last_error = error
+            except BaseException:
+                self.scheduler.abort(txn)
+                raise
+        assert last_error is not None
+        raise last_error
+
+    # -- passthroughs ----------------------------------------------------------------
+
+    @property
+    def history(self):
+        return self.scheduler.history
+
+    @property
+    def counters(self):
+        return self.scheduler.counters
+
+    def check_serializable(self):
+        """Run the oracle on everything committed so far."""
+        from repro.histories.checker import assert_one_copy_serializable
+
+        return assert_one_copy_serializable(self.scheduler.history)

@@ -1,0 +1,19 @@
+"""Distributed extension: per-site version control, 2PC, and the ref [8] baseline."""
+
+from repro.distributed.courier import Courier
+from repro.distributed.database import DistributedVCDatabase, Site
+from repro.distributed.dmv2pl import DistributedMV2PL
+from repro.distributed.dvc import DistributedVersionControl
+from repro.distributed.gtn import SITE_SPACE, counter_of, make_gtn, site_of
+
+__all__ = [
+    "Courier",
+    "DistributedMV2PL",
+    "DistributedVCDatabase",
+    "DistributedVersionControl",
+    "SITE_SPACE",
+    "Site",
+    "counter_of",
+    "make_gtn",
+    "site_of",
+]

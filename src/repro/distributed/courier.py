@@ -1,0 +1,101 @@
+"""Message delivery for the distributed layer.
+
+Three delivery modes cover every use:
+
+* **immediate** — deliveries run synchronously (unit tests of the happy
+  path);
+* **manual** — deliveries queue until the test pumps them, exposing the
+  message-interleaving windows where distributed anomalies live;
+* **simulated** — deliveries are scheduled on a
+  :class:`~repro.sim.engine.Simulator` after a (possibly random) latency.
+
+Messages carry a *channel* label (default ``"default"``).  Manual pumping
+can target one channel, modeling independent network paths whose relative
+ordering is unconstrained — the freedom distributed anomalies need.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.sim.engine import Simulator
+
+
+class Courier:
+    """Delivers thunks according to the configured mode."""
+
+    def __init__(
+        self,
+        sim: Simulator | None = None,
+        latency: Callable[[], float] | float = 0.0,
+        manual: bool = False,
+    ):
+        if sim is not None and manual:
+            raise ValueError("choose either simulated or manual delivery")
+        self._sim = sim
+        self._latency = latency
+        self._manual = manual
+        self._queue: deque[tuple[str, Callable[[], None]]] = deque()
+        #: Messages delivered (a cost proxy for the distributed protocols).
+        self.delivered = 0
+
+    def _draw_latency(self) -> float:
+        if callable(self._latency):
+            return float(self._latency())
+        return float(self._latency)
+
+    def dispatch(self, fn: Callable[[], None], channel: str = "default") -> None:
+        """Deliver ``fn`` per the configured mode."""
+        if self._sim is not None:
+            self._sim.call_in(self._draw_latency(), self._wrap(fn))
+        elif self._manual:
+            self._queue.append((channel, fn))
+        else:
+            self._wrap(fn)()
+
+    def _wrap(self, fn: Callable[[], None]) -> Callable[[], None]:
+        def run() -> None:
+            self.delivered += 1
+            fn()
+
+        return run
+
+    # -- manual mode ------------------------------------------------------------
+
+    def pending(self, channel: str | None = None) -> int:
+        if channel is None:
+            return len(self._queue)
+        return sum(1 for ch, _ in self._queue if ch == channel)
+
+    def defer(self, count: int = 1) -> None:
+        """Move the first ``count`` queued messages to the back of the queue.
+
+        Models out-of-order delivery across independent channels — the
+        reordering freedom distributed anomalies need.
+        """
+        for _ in range(min(count, len(self._queue))):
+            self._queue.append(self._queue.popleft())
+
+    def pump(self, count: int | None = None, channel: str | None = None) -> int:
+        """Deliver up to ``count`` queued messages (all when None).
+
+        When ``channel`` is given only that channel's messages are
+        delivered, preserving their FIFO order; others stay queued.
+        Delivering a message may enqueue more; those run too when ``count``
+        is None.
+        """
+        delivered = 0
+        scanned: deque[tuple[str, Callable[[], None]]] = deque()
+        while self._queue and (count is None or delivered < count):
+            ch, fn = self._queue.popleft()
+            if channel is not None and ch != channel:
+                scanned.append((ch, fn))
+                continue
+            self.delivered += 1
+            fn()
+            delivered += 1
+        # Put back unmatched messages at the front, preserving order.
+        while scanned:
+            self._queue.appendleft(scanned.pop())
+        return delivered

@@ -1,0 +1,324 @@
+"""Distributed multiversion 2PL with local CTLs — the ref [8] baseline.
+
+The paper's Section 2 criticism of the distributed variant of Chan et al.'s
+protocol, reproduced so experiment EXP-J can measure it:
+
+* a read-only transaction "must have a priori knowledge of the set of sites
+  where it will perform its reads" — ``begin`` requires the site list and
+  rejects reads elsewhere;
+* it builds its global view by fetching each declared site's *local*
+  completed transaction list and commit counter, one message per site; the
+  fetches are not atomic, so a distributed read-write transaction can commit
+  *between* them and be visible at the later-fetched site but not the
+  earlier one;
+* consequently the protocol "does not guarantee global serializability of
+  read-only transactions": the global history can contain a read-only
+  transaction that observed half of a distributed update — an MVSG cycle
+  the oracle detects.
+
+Read-write transactions run distributed strict 2PL with per-site commit
+counters and CTL appends under two-phase commit (no transaction-number
+agreement — each site numbers the commit locally, which is the root of the
+anomaly).  Version numbers are per-site local counters mapped into the
+global number space by site for uniqueness.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from typing import Any, Hashable, Iterable
+
+from repro.cc.deadlock import WaitsForGraph
+from repro.cc.lock_manager import LockManager
+from repro.cc.locks import LockMode
+from repro.core.futures import OpFuture
+from repro.core.interface import SchedulerCounters
+from repro.core.transaction import Transaction, TxnClass
+from repro.distributed.courier import Courier
+from repro.distributed.gtn import make_gtn
+from repro.errors import (
+    AbortReason,
+    DeadlockError,
+    ProtocolError,
+    VersionNotFound,
+)
+from repro.histories.recorder import HistoryRecorder
+from repro.storage.mvstore import MVStore
+
+
+class _ChanSite:
+    """One site: store, locks, local commit counter, local CTL."""
+
+    def __init__(self, site_id: int, waits_for: WaitsForGraph):
+        self.site_id = site_id
+        self.store = MVStore()
+        self.locks = LockManager(waits_for=waits_for)
+        self.commit_counter = 0
+        self.ctl: set[int] = {0}
+
+    def next_commit_number(self) -> int:
+        """Local commit number mapped into the global space for uniqueness."""
+        self.commit_counter += 1
+        return make_gtn(self.commit_counter, self.site_id)
+
+
+class DistributedMV2PL:
+    """Ref [8]-style distributed MV2PL with per-site CTLs."""
+
+    name = "dmv2pl"
+
+    def __init__(self, n_sites: int = 3, courier: Courier | None = None):
+        if n_sites < 1:
+            raise ValueError("n_sites must be >= 1")
+        self._waits_for = WaitsForGraph()
+        self.sites: dict[int, _ChanSite] = {
+            sid: _ChanSite(sid, self._waits_for) for sid in range(1, n_sites + 1)
+        }
+        self.courier = courier if courier is not None else Courier()
+        self.recorder = HistoryRecorder()
+        self.counters = SchedulerCounters()
+        # Global identities for distributed transactions (pseudo-site 1023)
+        # and the map from site-local version numbers to those identities,
+        # so the recorded global history references writers consistently.
+        self._ident_counter = 0
+        self._ident_of_version: dict[int, int] = {}
+
+    def _next_ident(self) -> int:
+        self._ident_counter += 1
+        return make_gtn(self._ident_counter, 1023)
+
+    def _translate(self, version_tn: int) -> int:
+        """Map an installed version number to its writer's global identity."""
+        return self._ident_of_version.get(version_tn, version_tn)
+
+    def site_of_key(self, key: Hashable) -> _ChanSite:
+        if isinstance(key, str) and key[:1] == "s" and ":" in key:
+            prefix = key.split(":", 1)[0][1:]
+            if prefix.isdigit() and int(prefix) in self.sites:
+                return self.sites[int(prefix)]
+        return self.sites[(zlib.crc32(str(key).encode()) % len(self.sites)) + 1]
+
+    # -- transactions -------------------------------------------------------------
+
+    def begin(
+        self,
+        read_only: bool = False,
+        read_sites: Iterable[int] | None = None,
+    ) -> Transaction:
+        """Start a transaction.
+
+        Read-only transactions MUST declare ``read_sites`` — the a-priori
+        knowledge requirement the paper criticizes.  The snapshot state
+        (per-site start timestamp + CTL copy) is fetched one site at a time
+        through the courier; reads issued before all fetches arrive are
+        parked.
+        """
+        txn = Transaction(TxnClass.READ_ONLY if read_only else TxnClass.READ_WRITE)
+        self.counters.note_begin(txn)
+        self.recorder.record_begin(txn)
+        if read_only:
+            if read_sites is None:
+                raise ProtocolError(
+                    "distributed MV2PL read-only transactions must declare "
+                    "their read sites a priori"
+                )
+            txn.meta["declared"] = set(read_sites)
+            txn.meta["start_ts"] = {}
+            txn.meta["ctl_copy"] = {}
+            txn.meta["snapshot_ready"] = OpFuture(label=f"T{txn.txn_id} snapshot")
+            self._fetch_snapshots(txn, sorted(txn.meta["declared"]))
+        else:
+            txn.meta["participants"] = set()
+        return txn
+
+    def _fetch_snapshots(self, txn: Transaction, site_ids: list[int]) -> None:
+        """Fetch per-site (start_ts, CTL copy), one message per site.
+
+        The non-atomicity across these messages is the anomaly window.
+        """
+        pending = list(site_ids)
+
+        def fetch_next() -> None:
+            if not pending:
+                txn.meta["snapshot_ready"].resolve(None)
+                return
+            sid = pending.pop(0)
+
+            def deliver() -> None:
+                site = self.sites[sid]
+                txn.meta["start_ts"][sid] = make_gtn(site.commit_counter + 1, sid)
+                txn.meta["ctl_copy"][sid] = set(site.ctl)
+                self.counters.note_cc_interaction(txn, "ctl-fetch")
+                self.counters.bump("ctl.copied_entries", len(site.ctl))
+                fetch_next()
+
+            self.courier.dispatch(deliver, channel="snapshot")
+
+        fetch_next()
+
+    # -- read-only reads -------------------------------------------------------------
+
+    def _ro_read(self, txn: Transaction, key: Hashable) -> OpFuture:
+        site = self.site_of_key(key)
+        if site.site_id not in txn.meta["declared"]:
+            raise ProtocolError(
+                f"site {site.site_id} was not declared by read-only "
+                f"transaction {txn.txn_id} (declared: {sorted(txn.meta['declared'])})"
+            )
+        result = OpFuture(label=f"r{txn.txn_id}[{key}]@s{site.site_id}")
+
+        def ready(_f: OpFuture) -> None:
+            def deliver() -> None:
+                start_ts = txn.meta["start_ts"][site.site_id]
+                ctl_copy = txn.meta["ctl_copy"][site.site_id]
+                candidates = [v for v in site.store.object(key).versions() if v.tn < start_ts]
+                for version in reversed(candidates):
+                    self.counters.bump("ctl.membership_checks")
+                    if version.tn in ctl_copy:
+                        ident = self._translate(version.tn)
+                        txn.record_read(key, ident)
+                        self.recorder.record_read(txn, key, ident)
+                        result.resolve(version.value)
+                        return
+                result.fail(VersionNotFound(key, start_ts))  # pragma: no cover
+
+            self.courier.dispatch(deliver)
+
+        txn.meta["snapshot_ready"].add_callback(ready)
+        return result
+
+    # -- read-write path ----------------------------------------------------------------
+
+    def read(self, txn: Transaction, key: Hashable) -> OpFuture:
+        txn.require_active()
+        if txn.is_read_only:
+            return self._ro_read(txn, key)
+        site = self.site_of_key(key)
+        txn.meta["participants"].add(site.site_id)
+        self.counters.note_cc_interaction(txn, "r-lock")
+        result = OpFuture(label=f"r{txn.txn_id}[{key}]")
+
+        def deliver() -> None:
+            lock = site.locks.acquire(txn.txn_id, key, LockMode.SHARED)
+
+            def locked(done: OpFuture) -> None:
+                if done.failed:
+                    self._deadlock_abort(txn, done.error, result)
+                    return
+                if key in txn.write_set:
+                    txn.record_read(key, -1)
+                    self.recorder.record_read(txn, key, None)
+                    result.resolve(txn.write_set[key])
+                    return
+                version = site.store.read_latest_committed(key)
+                ident = self._translate(version.tn)
+                txn.record_read(key, ident)
+                self.recorder.record_read(txn, key, ident)
+                result.resolve(version.value)
+
+            lock.add_callback(locked)
+
+        self.courier.dispatch(deliver)
+        return result
+
+    def write(self, txn: Transaction, key: Hashable, value: Any) -> OpFuture:
+        txn.require_active()
+        if txn.is_read_only:
+            raise ProtocolError(f"transaction {txn.txn_id} is read-only")
+        site = self.site_of_key(key)
+        txn.meta["participants"].add(site.site_id)
+        self.counters.note_cc_interaction(txn, "w-lock")
+        result = OpFuture(label=f"w{txn.txn_id}[{key}]")
+
+        def deliver() -> None:
+            lock = site.locks.acquire(txn.txn_id, key, LockMode.EXCLUSIVE)
+
+            def locked(done: OpFuture) -> None:
+                if done.failed:
+                    self._deadlock_abort(txn, done.error, result)
+                    return
+                txn.record_write(key, value)
+                self.recorder.record_write(txn, key)
+                result.resolve(None)
+
+            lock.add_callback(locked)
+
+        self.courier.dispatch(deliver)
+        return result
+
+    # -- termination --------------------------------------------------------------------
+
+    def commit(self, txn: Transaction) -> OpFuture:
+        txn.require_active()
+        result = OpFuture(label=f"commit T{txn.txn_id}")
+        if txn.is_read_only:
+            txn.mark_committed()
+            self.counters.note_commit(txn)
+            self.recorder.record_commit(txn)
+            result.resolve(None)
+            return result
+        participants = sorted(txn.meta["participants"]) or [next(iter(self.sites))]
+        # Two-phase commit WITHOUT number agreement: each site assigns its
+        # own local commit number — the root of the global-serializability
+        # gap.  A protocol-external global identity ties the per-site
+        # version numbers together for history recording only.
+        txn.tn = self._next_ident()
+        txn.meta["site_numbers"] = {}
+        acks = set(participants)
+
+        def commit_at(sid: int) -> None:
+            site = self.sites[sid]
+            local_tn = site.next_commit_number()
+            txn.meta["site_numbers"][sid] = local_tn
+            self._ident_of_version[local_tn] = txn.tn
+            for key, value in txn.write_set.items():
+                if self.site_of_key(key) is site:
+                    site.store.install(key, local_tn, value)
+            site.ctl.add(local_tn)
+            site.locks.release_all(txn.txn_id)
+            acks.discard(sid)
+            if not acks:
+                txn.mark_committed()
+                self.counters.note_commit(txn)
+                self.recorder.record_commit(txn)
+                result.resolve(None)
+
+        for sid in participants:
+            self.courier.dispatch(lambda s=sid: commit_at(s))
+        return result
+
+    def global_version_order(self) -> dict:
+        """The protocol's own per-key version order, in global identities.
+
+        Versions of a key are totally ordered by their position in the
+        owning site's chain (local commit order); the oracle checks global
+        one-copy serializability of the recorded history under exactly this
+        order — the order the protocol maintains.
+        """
+        order: dict = {}
+        for site in self.sites.values():
+            for key in site.store.keys():
+                chain = site.store.object(key)
+                order[key] = [self._translate(v.tn) for v in chain.versions()]
+        return order
+
+    def abort(self, txn: Transaction, reason: AbortReason = AbortReason.USER_REQUESTED) -> None:
+        if txn.is_finished:
+            return
+        if txn.is_read_write:
+            for sid in txn.meta.get("participants", ()):
+                self.sites[sid].locks.release_all(txn.txn_id)
+        txn.mark_aborted(reason)
+        self.counters.note_abort(txn, reason, caused_by_readonly=False)
+        self.recorder.record_abort(txn)
+
+    def _deadlock_abort(self, txn: Transaction, error: BaseException | None, result: OpFuture) -> None:
+        assert isinstance(error, DeadlockError)
+        if txn.is_active:
+            self.abort(txn, AbortReason.DEADLOCK_VICTIM)
+        result.fail(error)
+
+    @property
+    def history(self):
+        return self.recorder.history

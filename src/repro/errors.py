@@ -1,0 +1,125 @@
+"""Error taxonomy for the repro library.
+
+Every abnormal outcome a transaction can experience maps to one exception
+class here, so callers can distinguish *why* a transaction failed without
+string matching.  The taxonomy mirrors the failure modes the paper discusses:
+
+* timestamp-ordering rejections (late writes),
+* deadlock victims under two-phase locking,
+* optimistic validation failures,
+* garbage-collected versions (paper Section 6),
+* protocol misuse by client code.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class AbortReason(enum.Enum):
+    """Why a transaction was aborted.
+
+    The specific reason is reported in metrics so experiments can attribute
+    aborts to their cause (e.g. EXP-B counts aborts whose reason is
+    ``TIMESTAMP_REJECTED`` *and* whose conflicting reader was read-only).
+    """
+
+    USER_REQUESTED = "user_requested"
+    TIMESTAMP_REJECTED = "timestamp_rejected"
+    DEADLOCK_VICTIM = "deadlock_victim"
+    VALIDATION_FAILED = "validation_failed"
+    WOUNDED = "wounded"
+    SITE_FAILURE = "site_failure"
+    COORDINATOR_ABORT = "coordinator_abort"
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class TransactionAborted(ReproError):
+    """Raised when an operation cannot proceed because its transaction aborted.
+
+    Attributes:
+        txn_id: identifier of the aborted transaction.
+        reason: the :class:`AbortReason` explaining the abort.
+        caused_by_readonly: True when the conflicting operation that forced
+            the abort belonged to a read-only transaction.  This is the
+            measurable quantity behind the paper's claim that, under Reed's
+            MVTO, read-only transactions can abort read-write transactions,
+            while under version control they never can.
+    """
+
+    def __init__(
+        self,
+        txn_id: int,
+        reason: AbortReason,
+        detail: str = "",
+        caused_by_readonly: bool = False,
+    ):
+        self.txn_id = txn_id
+        self.reason = reason
+        self.detail = detail
+        self.caused_by_readonly = caused_by_readonly
+        message = f"transaction {txn_id} aborted ({reason.value})"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class DeadlockError(TransactionAborted):
+    """A transaction was chosen as a deadlock victim."""
+
+    def __init__(self, txn_id: int, cycle: tuple[int, ...] = (), detail: str = ""):
+        self.cycle = cycle
+        super().__init__(txn_id, AbortReason.DEADLOCK_VICTIM, detail or f"cycle {cycle}")
+
+
+class ValidationError(TransactionAborted):
+    """An optimistic transaction failed backward validation."""
+
+    def __init__(self, txn_id: int, conflicting_txn: int | None = None, detail: str = ""):
+        self.conflicting_txn = conflicting_txn
+        super().__init__(txn_id, AbortReason.VALIDATION_FAILED, detail)
+
+
+class VersionNotFound(ReproError):
+    """No version of an object satisfies the read request.
+
+    Raised when a read-only transaction's snapshot predates every retained
+    version — the situation the paper flags as the only way a read-only read
+    can fail: "Barring the unavailability of an appropriate version to read
+    due to garbage-collection of old versions, a read request of T is never
+    rejected."
+    """
+
+    def __init__(self, key: object, bound: int):
+        self.key = key
+        self.bound = bound
+        super().__init__(f"no version of {key!r} with version number <= {bound}")
+
+
+class ProtocolError(ReproError):
+    """Client code violated the scheduler's usage contract.
+
+    Examples: writing inside a transaction declared read-only, operating on a
+    committed transaction, reading a key twice when the model forbids it.
+    """
+
+
+class FutureNotReady(ReproError):
+    """``OpFuture.result()`` was called on a future that is still blocked.
+
+    In the cooperative (threadless) execution model a pending future can only
+    make progress when *another* transaction acts, so synchronously waiting
+    would deadlock the caller; we raise instead.
+    """
+
+
+class InvariantViolation(ReproError):
+    """An internal protocol invariant was broken (always a library bug).
+
+    The version-control module checks the paper's Transaction Ordering and
+    Transaction Visibility properties after every state change when built in
+    checked mode; a violation raises this.
+    """

@@ -1,0 +1,128 @@
+"""History recorder — the bridge between schedulers and the formal model.
+
+Every scheduler in the library owns a :class:`HistoryRecorder` and reports
+each operation as it takes effect.  After a run (test, simulation, example)
+the recorded :class:`~repro.histories.operations.History` is fed to the MVSG
+checker, turning the paper's Theorem 1 into an executable post-condition.
+
+Transaction identities: read-write transactions are recorded under their
+transaction number ``tn`` when they have one.  Because under two-phase
+locking ``tn`` is only assigned at the lock point, operations are buffered
+per transaction and flushed with the final identity at commit time; aborted
+transactions flush under a negative pseudo-identity so the trace still shows
+them (the committed projection drops them anyway).  Read-only transactions
+get fresh negative-free identities above a disjoint offset so that several of
+them may share a start number without colliding in the graph.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.transaction import Transaction
+from repro.histories.operations import History, Op, OpKind
+
+#: Identity offset for read-only transactions, which have no tn of their own.
+#: Kept far above any realistic tn so reader nodes never collide with writers.
+RO_ID_OFFSET = 10_000_000_000
+
+
+class HistoryRecorder:
+    """Accumulates the multiversion history produced by one scheduler."""
+
+    def __init__(self) -> None:
+        self._buffers: dict[int, list[Op]] = {}
+        self._history = History()
+        self._abort_seq = 0
+        #: Order-sensitive live trace: (kind, txn_id, key, version_tn, tn).
+        #: Unlike the buffered history (whose operations flush at commit in
+        #: serialization identity), the live trace records events at the
+        #: moment they take effect, enabling order-sensitive properties such
+        #: as strictness (no read of an uncommitted version).
+        self.live: list[tuple[str, int, object, int | None, int | None]] = []
+
+    # -- identity ------------------------------------------------------------
+
+    @staticmethod
+    def identity(txn: Transaction) -> int:
+        """The history identity a transaction's operations are recorded under."""
+        if txn.is_read_only:
+            return RO_ID_OFFSET + txn.txn_id
+        if txn.tn is not None:
+            return txn.tn
+        raise ValueError(f"transaction {txn.txn_id} has no tn yet; buffer instead")
+
+    # -- recording -----------------------------------------------------------
+
+    def record_begin(self, txn: Transaction) -> None:
+        self._buffers.setdefault(txn.txn_id, [])
+
+    def record_read(self, txn: Transaction, key: Hashable, version: int | None) -> None:
+        """Record a read; ``version=None`` means "the reader's own staged write"
+        and is fixed up to the final identity at flush time."""
+        self._buffers.setdefault(txn.txn_id, []).append(
+            Op(OpKind.READ, -1, key, version)
+        )
+        self.live.append(("r", txn.txn_id, key, version, None))
+
+    def record_write(self, txn: Transaction, key: Hashable) -> None:
+        # Version subscript is fixed up at flush time to the final tn.
+        self._buffers.setdefault(txn.txn_id, []).append(Op(OpKind.WRITE, -1, key, -1))
+        self.live.append(("w", txn.txn_id, key, None, None))
+
+    def record_commit(self, txn: Transaction) -> None:
+        ident = self.identity(txn)
+        self._flush(txn.txn_id, ident)
+        self._history.append(Op(OpKind.COMMIT, ident))
+        self.live.append(("c", txn.txn_id, None, None, txn.tn))
+
+    def record_abort(self, txn: Transaction) -> None:
+        # Aborted read-write transactions may have no tn; give them a unique
+        # pseudo-identity so the trace remains well-formed.
+        if txn.is_read_only:
+            ident = RO_ID_OFFSET + txn.txn_id
+        elif txn.tn is not None:
+            ident = txn.tn
+        else:
+            self._abort_seq += 1
+            ident = -self._abort_seq
+        self._flush(txn.txn_id, ident)
+        self._history.append(Op(OpKind.ABORT, ident))
+        self.live.append(("a", txn.txn_id, None, None, txn.tn))
+
+    def _flush(self, txn_id: int, ident: int) -> None:
+        buffered = self._buffers.pop(txn_id, [])
+        self._history.append(Op(OpKind.BEGIN, ident))
+        for op in buffered:
+            if op.kind is OpKind.WRITE or op.version is None:
+                version = ident
+            else:
+                version = op.version
+            self._history.append(Op(op.kind, ident, op.key, version))
+
+    # -- results -------------------------------------------------------------
+
+    @property
+    def history(self) -> History:
+        """The history recorded so far (finished transactions only)."""
+        return self._history
+
+    def full_history(self) -> History:
+        """History including in-flight transactions' buffered operations.
+
+        In-flight read-write transactions without a tn appear under unique
+        negative identities; they are excluded from the committed projection
+        so checkers are unaffected.
+        """
+        combined = History(list(self._history.ops))
+        pseudo = -1_000_000
+        for txn_id, buffered in self._buffers.items():
+            pseudo -= 1
+            combined.append(Op(OpKind.BEGIN, pseudo))
+            for op in buffered:
+                if op.kind is OpKind.WRITE or op.version is None:
+                    version = pseudo
+                else:
+                    version = op.version
+                combined.append(Op(op.kind, pseudo, op.key, version))
+        return combined

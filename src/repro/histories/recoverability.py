@@ -1,0 +1,72 @@
+"""Order-sensitive execution properties: strictness of reads.
+
+The paper's model assumes aborted transactions' versions are destroyed and
+never observed (Section 3.2) — i.e. executions are *strict with respect to
+reads*: no transaction reads a version whose creator has not yet committed.
+All protocols in this library enforce it (2PL via locks, TO via
+pending-version blocking, OCC via latest-committed reads); this module
+checks it from the recorder's live trace, where events appear in the order
+they actually took effect.
+
+Strictness implies recoverability and avoids cascading aborts, so a single
+checker covers the hierarchy for reads.  (Write-write strictness is
+trivially satisfied in the multiversion model: writes create fresh versions
+and never overwrite in place.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class StrictnessReport:
+    """Outcome of a strictness check.
+
+    Attributes:
+        strict: no read observed an uncommitted (non-initial) version.
+        reads_checked: number of versioned reads examined.
+        violations: offending (reader_txn_id, key, version_tn) triples.
+    """
+
+    strict: bool
+    reads_checked: int
+    violations: list[tuple[int, object, int]]
+
+
+def check_read_strictness(live: list[tuple]) -> StrictnessReport:
+    """Check the live trace for reads of uncommitted versions.
+
+    A read event carries the version number (creator ``tn``) it returned;
+    the creator's commit event carries its ``tn``.  The read is strict when
+    a commit with that ``tn`` precedes it in the trace (version 0, the
+    initial database state, is committed by definition; ``None`` marks a
+    read of the reader's own staged write and is exempt).
+    """
+    # Timestamp-ordering protocols number transactions up front, so a
+    # transaction legitimately reads its *own* pending version; map each
+    # txn_id to its final number to exempt those self-reads.
+    final_tn: dict[int, int] = {}
+    for kind, txn_id, _key, _version_tn, tn in live:
+        if kind in ("c", "a") and tn is not None:
+            final_tn[txn_id] = tn
+
+    committed_tns: set[int] = set()
+    violations: list[tuple[int, object, int]] = []
+    reads_checked = 0
+    for kind, txn_id, key, version_tn, tn in live:
+        if kind == "c" and tn is not None:
+            committed_tns.add(tn)
+        elif kind == "r":
+            if version_tn is None or version_tn <= 0:
+                continue
+            if final_tn.get(txn_id) == version_tn:
+                continue  # own pending version
+            reads_checked += 1
+            if version_tn not in committed_tns:
+                violations.append((txn_id, key, version_tn))
+    return StrictnessReport(
+        strict=not violations,
+        reads_checked=reads_checked,
+        violations=violations,
+    )

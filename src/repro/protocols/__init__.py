@@ -1,0 +1,24 @@
+"""The paper's protocol instantiations and extensions.
+
+Core: version control x {2PL, TO, OCC}.  Extensions exercising the paper's
+Section 1 extensibility claims: adaptive concurrency control and
+write-ahead-logged recovery.
+"""
+
+from repro.protocols.adaptive import AdaptiveVCScheduler
+from repro.protocols.recoverable import RecoverableVC2PLScheduler
+from repro.protocols.vc_granular import VCGranular2PLScheduler
+from repro.protocols.vc_occ_forward import VCOCCForwardScheduler
+from repro.protocols.vc_optimistic import VCOCCScheduler
+from repro.protocols.vc_timestamp_ordering import VCTOScheduler
+from repro.protocols.vc_two_phase_locking import VC2PLScheduler
+
+__all__ = [
+    "AdaptiveVCScheduler",
+    "RecoverableVC2PLScheduler",
+    "VC2PLScheduler",
+    "VCGranular2PLScheduler",
+    "VCOCCForwardScheduler",
+    "VCOCCScheduler",
+    "VCTOScheduler",
+]

@@ -1,0 +1,66 @@
+"""Name-indexed registry of every scheduler in the library.
+
+Benchmarks and examples select protocols by their short names::
+
+    from repro.protocols.registry import make_scheduler, PROTOCOLS
+
+    db = make_scheduler("vc-2pl")
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines import (
+    MV2PLScheduler,
+    MVTOScheduler,
+    SV2PLScheduler,
+    SVTOScheduler,
+    WeihlTIScheduler,
+)
+from repro.core.interface import Scheduler
+from repro.protocols.adaptive import AdaptiveVCScheduler
+from repro.protocols.recoverable import RecoverableVC2PLScheduler
+from repro.protocols.vc_granular import VCGranular2PLScheduler
+from repro.protocols.vc_occ_forward import VCOCCForwardScheduler
+from repro.protocols.vc_optimistic import VCOCCScheduler
+from repro.protocols.vc_timestamp_ordering import VCTOScheduler
+from repro.protocols.vc_two_phase_locking import VC2PLScheduler
+
+#: All protocols, keyed by short name.  The first three are the paper's
+#: version-control instantiations; the rest are the Section 2 baselines.
+PROTOCOLS: dict[str, type[Scheduler]] = {
+    VC2PLScheduler.name: VC2PLScheduler,
+    VCTOScheduler.name: VCTOScheduler,
+    VCOCCScheduler.name: VCOCCScheduler,
+    MVTOScheduler.name: MVTOScheduler,
+    MV2PLScheduler.name: MV2PLScheduler,
+    WeihlTIScheduler.name: WeihlTIScheduler,
+    SV2PLScheduler.name: SV2PLScheduler,
+    SVTOScheduler.name: SVTOScheduler,
+    AdaptiveVCScheduler.name: AdaptiveVCScheduler,
+    RecoverableVC2PLScheduler.name: RecoverableVC2PLScheduler,
+    VCGranular2PLScheduler.name: VCGranular2PLScheduler,
+    VCOCCForwardScheduler.name: VCOCCForwardScheduler,
+}
+
+#: The paper's protocols only.
+VC_PROTOCOLS = ("vc-2pl", "vc-to", "vc-occ")
+
+#: Baselines only.
+BASELINE_PROTOCOLS = ("mvto-reed", "mv2pl-chan", "weihl-ti", "sv-2pl", "sv-to")
+
+
+def make_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a protocol by short name.
+
+    Raises KeyError with the known names listed when the name is unknown.
+    """
+    try:
+        cls = PROTOCOLS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown protocol {name!r}; known: {', '.join(sorted(PROTOCOLS))}"
+        ) from None
+    factory: Callable[..., Scheduler] = cls
+    return factory(**kwargs)

@@ -1,0 +1,189 @@
+"""Version control + timestamp ordering — paper Figure 3.
+
+The serial order under timestamp ordering is fixed a priori, so a read-write
+transaction registers with version control — acquiring its transaction
+number — at ``begin``.  Thereafter:
+
+* ``read(x)`` — set ``r-ts(x) = max(r-ts(x), tn(T))``, then return the
+  version with the largest number ``<= sn(T) = tn(T)``.  If that version is
+  a *pending* write by an older transaction, the read blocks until the
+  writer commits (read it) or aborts (fall back to an older version).
+* ``write(y)`` — rejected (transaction aborts) when ``r-ts(y) > tn(T)`` or
+  ``w-ts(y) > tn(T)``; otherwise a pending version numbered ``tn(T)`` is
+  created and ``w-ts(y)`` rises to ``tn(T)``.  A write is likewise blocked
+  while an *older* transaction has a pending write on ``y``.
+* ``end(T)`` — commit: pending versions become permanent, blocked requests
+  on them are re-driven, and ``VCcomplete`` advances visibility when T is
+  the oldest registrant.
+
+Because read-only transactions never raise ``r-ts``, a write rejection can
+never be caused by a read-only reader — the measurable difference from
+Reed's MVTO (experiment EXP-B).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable
+
+from repro.core.futures import OpFuture
+from repro.core.transaction import Transaction
+from repro.core.vc_scheduler import VersionControlledScheduler
+from repro.core.version_control import VersionControl
+from repro.errors import AbortReason, TransactionAborted
+from repro.storage.mvstore import MVStore
+
+
+class _Blocked:
+    """One parked request: retried whenever its key's pending set changes."""
+
+    __slots__ = ("txn", "attempt")
+
+    def __init__(self, txn: Transaction, attempt: Callable[[], bool]):
+        self.txn = txn
+        self.attempt = attempt
+
+
+class VCTOScheduler(VersionControlledScheduler):
+    """The paper's Figure 3 protocol."""
+
+    name = "vc-to"
+    multiversion = True
+
+    def __init__(
+        self,
+        store: MVStore | None = None,
+        version_control: VersionControl | None = None,
+        checked: bool = True,
+    ):
+        super().__init__(store, version_control, checked=checked)
+        self._waiting: dict[Hashable, list[_Blocked]] = {}
+
+    # -- read-write hooks -----------------------------------------------------
+
+    def _rw_begin(self, txn: Transaction) -> None:
+        # Serial order is determined a priori: register now.
+        self.counters.note_vc_interaction(txn, "register")
+        self.vc.vc_register(txn)
+        txn.sn = txn.tn
+
+    def _rw_read(self, txn: Transaction, key: Hashable) -> OpFuture:
+        self.counters.note_cc_interaction(txn, "ts-read")
+        assert txn.tn is not None
+        obj = self.store.object(key)
+        # Figure 3: r-ts(x) <- MAX(r-ts(x), tn(T)), applied at request time so
+        # no older write can slip between a blocked read and its version.
+        if txn.tn > obj.max_r_ts:
+            obj.max_r_ts = txn.tn
+        result = OpFuture(label=f"r{txn.txn_id}[{key}]")
+
+        def attempt() -> bool:
+            if not txn.is_active:
+                result.fail(
+                    TransactionAborted(txn.txn_id, txn.abort_reason or AbortReason.USER_REQUESTED)
+                )
+                return True
+            version = obj.version_leq(txn.sn)
+            if version.pending and version.creator_txn_id != txn.txn_id:
+                return False  # wait for the older writer's fate
+            obj.note_read(version, txn.tn)
+            txn.record_read(key, version.tn)
+            self.recorder.record_read(txn, key, version.tn)
+            result.resolve(version.value)
+            return True
+
+        if not attempt():
+            self.counters.note_block(txn, "pending-write")
+            self._waiting.setdefault(key, []).append(_Blocked(txn, attempt))
+        return result
+
+    def _rw_write(self, txn: Transaction, key: Hashable, value: Any) -> OpFuture:
+        self.counters.note_cc_interaction(txn, "ts-write")
+        assert txn.tn is not None
+        tn = txn.tn
+        obj = self.store.object(key)
+        result = OpFuture(label=f"w{txn.txn_id}[{key}]")
+
+        def attempt() -> bool:
+            if not txn.is_active:
+                result.fail(
+                    TransactionAborted(txn.txn_id, txn.abort_reason or AbortReason.USER_REQUESTED)
+                )
+                return True
+            latest = obj.latest()
+            if key in txn.write_set:
+                # Rewrite of the transaction's own pending version.
+                own = obj.find(tn)
+                assert own is not None and own.pending
+                own.value = value
+                txn.record_write(key, value)
+                result.resolve(None)
+                return True
+            # Figure 3 rejection check: r-ts(x) > tn(T) OR w-ts(x) > tn(T).
+            if obj.max_r_ts > tn or latest.tn > tn:
+                # Under version control this can never be the fault of a
+                # read-only transaction: they do not raise r-ts.
+                self._rw_abort(txn, AbortReason.TIMESTAMP_REJECTED)
+                result.fail(
+                    TransactionAborted(txn.txn_id, AbortReason.TIMESTAMP_REJECTED)
+                )
+                return True
+            if latest.pending and latest.tn < tn:
+                return False  # blocked behind an older pending write
+            self.store.place_pending(key, tn, value, creator_txn_id=txn.txn_id)
+            txn.record_write(key, value)
+            self.recorder.record_write(txn, key)
+            result.resolve(None)
+            return True
+
+        if not attempt():
+            self.counters.note_block(txn, "pending-write")
+            self._waiting.setdefault(key, []).append(_Blocked(txn, attempt))
+        return result
+
+    def _rw_commit(self, txn: Transaction) -> OpFuture:
+        result = OpFuture(label=f"commit T{txn.txn_id}")
+        assert txn.tn is not None
+        # Perform database updates: pending versions become permanent.
+        for key in txn.write_set:
+            self.store.commit_pending(key, txn.tn)
+        self.counters.note_vc_interaction(txn, "complete")
+        self.vc.vc_complete(txn)
+        self._complete_rw_commit(txn)
+        result.resolve(None)
+        # Clear pending read (and write) actions parked on our versions.
+        self._wake(txn.write_set.keys())
+        return result
+
+    def _rw_abort(self, txn: Transaction, reason: AbortReason) -> None:
+        assert txn.tn is not None
+        for key in txn.write_set:
+            self.store.discard_pending(key, txn.tn)
+        self.counters.note_vc_interaction(txn, "discard")
+        self.vc.vc_discard(txn)
+        self._complete_rw_abort(txn, reason)
+        self._drop_waiters_of(txn)
+        self._wake(txn.write_set.keys())
+
+    # -- wait-list plumbing --------------------------------------------------------
+
+    def _wake(self, keys) -> None:
+        """Re-drive every request parked on ``keys``."""
+        for key in list(keys):
+            parked = self._waiting.pop(key, None)
+            if not parked:
+                continue
+            still_blocked: list[_Blocked] = []
+            for blocked in parked:
+                if not blocked.attempt():
+                    still_blocked.append(blocked)
+            if still_blocked:
+                self._waiting.setdefault(key, []).extend(still_blocked)
+
+    def _drop_waiters_of(self, txn: Transaction) -> None:
+        """Remove the aborted transaction's own parked requests."""
+        for key in list(self._waiting):
+            remaining = [b for b in self._waiting[key] if b.txn is not txn]
+            if remaining:
+                self._waiting[key] = remaining
+            else:
+                del self._waiting[key]

@@ -1,0 +1,160 @@
+"""Version control + strict two-phase locking — paper Figure 4.
+
+Read-write transactions run textbook strict 2PL against the *latest* version
+of each object, as if the database were single-version:
+
+* ``begin(T)`` — nothing; ``sn(T) = infinity`` "for uniformity" (a locked
+  read always sees the latest version).
+* ``read(x)`` — acquire an S lock (may wait), then read the largest version;
+  with the lock held that version is committed and its writer's lock point
+  precedes T's.
+* ``write(y)`` — acquire an X lock (may wait), then create the new version
+  privately "with version phi": the transaction has no number yet, and no
+  one can see the version until the lock is released, which happens only
+  after the lock point when the number exists.
+* ``end(T)`` — ``VCregister`` (this *is* the lock point: the moment the
+  serial order is fixed), perform the database updates with version number
+  ``tn(T)``, clear locks, ``VCcomplete``.
+
+Deadlocks are possible among executing read-write transactions and are
+resolved by the lock manager; a transaction that has registered with version
+control holds no pending requests, so — as the paper argues in Section 4.4 —
+version control is never entangled in a deadlock cycle.  Read-only
+transactions never touch the lock manager at all.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.cc.lock_manager import LockManager
+from repro.cc.locks import LockMode
+from repro.core.futures import OpFuture, resolved
+from repro.core.transaction import SN_INFINITY, Transaction
+from repro.core.vc_scheduler import VersionControlledScheduler
+from repro.core.version_control import VersionControl
+from repro.errors import AbortReason, DeadlockError
+from repro.storage.mvstore import MVStore
+
+
+class VC2PLScheduler(VersionControlledScheduler):
+    """The paper's Figure 4 protocol."""
+
+    name = "vc-2pl"
+    multiversion = True
+
+    def __init__(
+        self,
+        store: MVStore | None = None,
+        version_control: VersionControl | None = None,
+        victim_policy: str = "requester",
+        checked: bool = True,
+    ):
+        super().__init__(store, version_control, checked=checked)
+        self.locks = LockManager(
+            victim_policy=victim_policy,
+            on_block=self._note_block,
+            on_deadlock=self._note_deadlock,
+        )
+        self._txn_by_id: dict[int, Transaction] = {}
+
+    # -- read-write hooks ----------------------------------------------------
+
+    def _rw_begin(self, txn: Transaction) -> None:
+        txn.sn = SN_INFINITY
+        self._txn_by_id[txn.txn_id] = txn
+
+    def _rw_read(self, txn: Transaction, key: Hashable) -> OpFuture:
+        self.counters.note_cc_interaction(txn, "r-lock")
+        result = OpFuture(label=f"r{txn.txn_id}[{key}]")
+        lock = self.locks.acquire(txn.txn_id, key, LockMode.SHARED)
+
+        def _locked(done: OpFuture) -> None:
+            if done.failed:
+                self._deadlock_abort(txn, done.error, result)
+                return
+            if key in txn.write_set:
+                # Own staged write: visible to the writer itself.
+                txn.record_read(key, -1)
+                self.recorder.record_read(txn, key, None)  # fixed up at flush
+                result.resolve(txn.write_set[key])
+                return
+            version = self.store.read_latest_committed(key)
+            txn.record_read(key, version.tn)
+            self.recorder.record_read(txn, key, version.tn)
+            result.resolve(version.value)
+
+        lock.add_callback(_locked)
+        return result
+
+    def _rw_write(self, txn: Transaction, key: Hashable, value: Any) -> OpFuture:
+        self.counters.note_cc_interaction(txn, "w-lock")
+        result = OpFuture(label=f"w{txn.txn_id}[{key}]")
+        lock = self.locks.acquire(txn.txn_id, key, LockMode.EXCLUSIVE)
+
+        def _locked(done: OpFuture) -> None:
+            if done.failed:
+                self._deadlock_abort(txn, done.error, result)
+                return
+            # "create y_j with version phi" — staged privately until commit.
+            txn.record_write(key, value)
+            self.recorder.record_write(txn, key)
+            result.resolve(None)
+
+        lock.add_callback(_locked)
+        return result
+
+    def _rw_commit(self, txn: Transaction) -> OpFuture:
+        # end(T): the transaction has finished its execution phase; every
+        # lock it needs is held, so this is its lock point.
+        self.counters.note_vc_interaction(txn, "register")
+        tn = self.vc.vc_register(txn)
+        # Perform database updates with version number tn(T).
+        for key, value in txn.write_set.items():
+            self.store.install(key, tn, value)
+        # The transaction is now durably committed: record it before
+        # releasing locks, since lock release immediately re-drives blocked
+        # readers onto the freshly installed versions.
+        self._txn_by_id.pop(txn.txn_id, None)
+        self._complete_rw_commit(txn)
+        # Clear locks, then make the updates visible in serial order.
+        self.locks.release_all(txn.txn_id)
+        self.counters.note_vc_interaction(txn, "complete")
+        self.vc.vc_complete(txn)
+        return resolved(None, label=f"commit T{txn.txn_id}")
+
+    def _rw_abort(self, txn: Transaction, reason: AbortReason) -> None:
+        # Staged writes are private; discarding them destroys the versions.
+        if self.vc.is_registered(txn):
+            # Only reachable if an external abort lands between register and
+            # complete (our commit is atomic, but subclasses may split it).
+            self.counters.note_vc_interaction(txn, "discard")
+            self.vc.vc_discard(txn)
+        self.locks.release_all(txn.txn_id)
+        self._txn_by_id.pop(txn.txn_id, None)
+        self._complete_rw_abort(txn, reason)
+
+    # -- deadlock plumbing ---------------------------------------------------------
+
+    def _deadlock_abort(self, txn: Transaction, error: BaseException | None, result: OpFuture) -> None:
+        """A lock request failed (deadlock victim): abort and propagate."""
+        assert isinstance(error, DeadlockError)
+        if txn.is_active:
+            self._rw_abort(txn, AbortReason.DEADLOCK_VICTIM)
+        result.fail(error)
+
+    def _note_block(self, txn_id: int, key: Hashable) -> None:
+        txn = self._txn_by_id.get(txn_id)
+        if txn is not None:
+            self.counters.note_block(txn, "lock")
+
+    def _note_deadlock(self, victim: int, cycle: list[int]) -> None:
+        self.counters.bump("deadlock")
+        # The paper's Section 4.4 claim, enforced as a runtime check: no
+        # cycle member is registered with version control.
+        for member in set(cycle):
+            txn = self._txn_by_id.get(member)
+            if txn is not None and self.vc.is_registered(txn):  # pragma: no cover
+                raise AssertionError(
+                    f"transaction {member} is past its lock point yet deadlocked"
+                )

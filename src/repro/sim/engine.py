@@ -1,0 +1,159 @@
+"""Deterministic discrete-event simulation engine.
+
+This is the substitution for real concurrent hardware (see DESIGN.md): the
+paper's claims concern protocol-level effects — who blocks, who aborts, how
+stale a snapshot is — which are properties of the operation interleaving,
+not of wall-clock parallelism.  A virtual-time event loop produces exactly
+those interleavings, reproducibly under a seed, with every event observable.
+
+Processes are plain generators.  A process yields:
+
+* a number — sleep that many virtual time units;
+* an :class:`~repro.core.futures.OpFuture` — suspend until it settles; the
+  yield expression evaluates to the future's value, or the future's failure
+  exception is thrown into the generator at the suspension point.
+
+Resumptions are *scheduled*, never run inline from a future callback, so
+scheduler internals are not re-entered while they resolve futures.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable
+
+from repro.core.futures import OpFuture
+
+
+class SimError(Exception):
+    """Raised for simulation misuse (bad yields, running a finished sim)."""
+
+
+class Process:
+    """Handle for a running simulated process."""
+
+    __slots__ = ("name", "generator", "finished", "result", "error")
+
+    def __init__(self, name: str, generator: Generator):
+        self.name = name
+        self.generator = generator
+        self.finished = False
+        self.result: Any = None
+        self.error: BaseException | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "running"
+        return f"<Process {self.name} {state}>"
+
+
+class Simulator:
+    """Virtual-clock event loop."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._sequence = itertools.count()
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self.processes: list[Process] = []
+        #: Total events dispatched (a determinism fingerprint for tests).
+        self.events_dispatched = 0
+
+    # -- scheduling primitives -------------------------------------------------
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> None:
+        if when < self.now:
+            raise SimError(f"cannot schedule in the past ({when} < {self.now})")
+        heapq.heappush(self._heap, (when, next(self._sequence), fn))
+
+    def call_in(self, delay: float, fn: Callable[[], None]) -> None:
+        self.call_at(self.now + delay, fn)
+
+    # -- processes ----------------------------------------------------------------
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Register a generator as a process; it starts at the current time."""
+        process = Process(name or f"p{len(self.processes)}", generator)
+        self.processes.append(process)
+        self.call_in(0.0, lambda: self._step(process, None, None))
+        return process
+
+    def _step(
+        self,
+        process: Process,
+        value: Any,
+        error: BaseException | None,
+    ) -> None:
+        """Advance a process by one yield."""
+        if process.finished:  # pragma: no cover - defensive
+            return
+        try:
+            if error is not None:
+                yielded = process.generator.throw(error)
+            else:
+                yielded = process.generator.send(value)
+        except StopIteration as stop:
+            process.finished = True
+            process.result = stop.value
+            return
+        except BaseException as exc:  # noqa: BLE001 - report, do not mask
+            process.finished = True
+            process.error = exc
+            raise
+        self._handle_yield(process, yielded)
+
+    def _handle_yield(self, process: Process, yielded: Any) -> None:
+        if isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise SimError(f"process {process.name} yielded negative delay")
+            self.call_in(float(yielded), lambda: self._step(process, None, None))
+            return
+        if isinstance(yielded, OpFuture):
+            def _on_settle(future: OpFuture) -> None:
+                # Resume via the event queue (same timestamp), never inline.
+                if future.failed:
+                    self.call_in(0.0, lambda: self._step(process, None, future.error))
+                else:
+                    self.call_in(0.0, lambda: self._step(process, future.result(), None))
+
+            yielded.add_callback(_on_settle)
+            return
+        raise SimError(
+            f"process {process.name} yielded {yielded!r}; expected a delay or an OpFuture"
+        )
+
+    # -- running ------------------------------------------------------------------------
+
+    def run(self, until: float | None = None) -> float:
+        """Dispatch events until the queue drains or virtual time passes ``until``.
+
+        Returns the final virtual time.  Processes still blocked when the
+        queue drains simply stay suspended (their futures never settled) —
+        callers can inspect ``processes`` to detect them.
+        """
+        while self._heap:
+            when, _seq, fn = self._heap[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(self._heap)
+            self.now = when
+            self.events_dispatched += 1
+            fn()
+        if until is not None and self.now < until:
+            self.now = until
+        return self.now
+
+    def blocked_processes(self) -> list[Process]:
+        """Processes that have neither finished nor any queued resumption."""
+        return [p for p in self.processes if not p.finished]
+
+    def all_finished(self) -> bool:
+        return all(p.finished for p in self.processes)
+
+
+def run_processes(generators: Iterable[Generator], until: float | None = None) -> Simulator:
+    """Convenience: spawn all generators into a fresh simulator and run it."""
+    sim = Simulator()
+    for gen in generators:
+        sim.spawn(gen)
+    sim.run(until)
+    return sim

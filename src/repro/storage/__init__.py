@@ -1,0 +1,21 @@
+"""Storage substrates: multiversion chains, single-version store, GC."""
+
+from repro.storage.gc import GarbageCollector, ReadOnlyRegistry
+from repro.storage.wal import LogRecord, RecordKind, WriteAheadLog, recover
+from repro.storage.mvstore import MVStore
+from repro.storage.svstore import SVStore
+from repro.storage.version import Version
+from repro.storage.versioned_object import VersionedObject
+
+__all__ = [
+    "GarbageCollector",
+    "MVStore",
+    "ReadOnlyRegistry",
+    "LogRecord",
+    "RecordKind",
+    "SVStore",
+    "Version",
+    "VersionedObject",
+    "WriteAheadLog",
+    "recover",
+]

@@ -1,0 +1,151 @@
+"""The multiversion store.
+
+Maps keys to :class:`~repro.storage.versioned_object.VersionedObject` chains.
+All protocols in the library share this substrate; each exercises a different
+subset of its operations:
+
+* version-control read-only transactions: :meth:`read_snapshot`;
+* VC + 2PL read-write transactions: :meth:`read_latest_committed` and
+  :meth:`install` at commit (writes are staged privately until the lock
+  point, per Figure 4's "create y_j with version phi");
+* timestamp-ordering protocols: :meth:`version_leq` with pending versions
+  placed by :meth:`place_pending` and resolved by :meth:`commit_pending` /
+  :meth:`discard_pending`.
+
+Every object springs into existence on first touch with an initial version
+numbered 0 holding ``initial_value`` (default None), attributed to the
+notional initializing transaction T0.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterator
+
+from repro.storage.version import Version
+from repro.storage.versioned_object import VersionedObject
+
+
+class MVStore:
+    """Key-addressed multiversion storage."""
+
+    def __init__(self, initial_value: Any = None):
+        self._objects: dict[Hashable, VersionedObject] = {}
+        self._initial_value = initial_value
+        #: Total versions ever discarded by garbage collection.
+        self.gc_discarded = 0
+
+    # -- object access ------------------------------------------------------------
+
+    def object(self, key: Hashable) -> VersionedObject:
+        """The version chain for ``key``, created on first use."""
+        obj = self._objects.get(key)
+        if obj is None:
+            obj = VersionedObject(key, self._initial_value)
+            self._objects[key] = obj
+        return obj
+
+    def preload(self, contents: dict[Hashable, Any]) -> None:
+        """Populate initial versions (version 0) from a dict."""
+        for key, value in contents.items():
+            if key in self._objects:
+                raise KeyError(f"object {key!r} already exists")
+            self._objects[key] = VersionedObject(key, value)
+
+    def keys(self) -> Iterator[Hashable]:
+        return iter(self._objects)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    # -- reads ----------------------------------------------------------------------
+
+    def read_snapshot(self, key: Hashable, sn: float) -> Version:
+        """Largest committed version with ``tn <= sn`` — Figure 2's read rule.
+
+        Under the version-control mechanism ``sn <= vtnc``, so every version
+        at or below ``sn`` is committed and the committed filter never skips
+        anything; it is kept for defense in depth and for baselines.
+        """
+        return self.object(key).committed_version_leq(sn)
+
+    def read_latest_committed(self, key: Hashable) -> Version:
+        """Most recent committed version — the 2PL read-write read rule."""
+        return self.object(key).latest_committed()
+
+    def version_leq(self, key: Hashable, bound: float) -> Version:
+        """Largest version (pending included) with ``tn <= bound``."""
+        return self.object(key).version_leq(bound)
+
+    # -- writes ------------------------------------------------------------------------
+
+    def install(self, key: Hashable, tn: int, value: Any) -> Version:
+        """Install a committed version — 2PL's commit-time database update."""
+        return self.object(key).install(tn, value, pending=False)
+
+    def place_pending(
+        self, key: Hashable, tn: int, value: Any, creator_txn_id: int | None = None
+    ) -> Version:
+        """Place a pending version — timestamp ordering's granted write."""
+        return self.object(key).install(
+            tn, value, pending=True, creator_txn_id=creator_txn_id
+        )
+
+    def commit_pending(self, key: Hashable, tn: int) -> Version:
+        return self.object(key).commit_pending(tn)
+
+    def discard_pending(self, key: Hashable, tn: int) -> None:
+        """Destroy an aborted writer's pending version (Section 3.2)."""
+        self.object(key).remove(tn)
+
+    # -- statistics / maintenance --------------------------------------------------------
+
+    def version_count(self) -> int:
+        """Total retained versions across all objects."""
+        return sum(len(obj) for obj in self._objects.values())
+
+    def prune(self, horizon: float) -> int:
+        """Garbage-collect: keep, per object, the newest version at or below
+        ``horizon`` plus everything younger.  Returns versions discarded.
+
+        Callers must compute ``horizon`` per the paper's Section 6 rule; see
+        :class:`repro.storage.gc.GarbageCollector`.
+        """
+        discarded = 0
+        for obj in self._objects.values():
+            discarded += obj.prune_older_than(horizon)
+        self.gc_discarded += discarded
+        return discarded
+
+    def prune_some(self, horizon: float, max_objects: int, cursor: int = 0) -> tuple[int, int]:
+        """Incremental collection: prune at most ``max_objects`` objects,
+        resuming from ``cursor``.
+
+        Returns ``(discarded, next_cursor)``; ``next_cursor`` wraps to 0
+        after a full cycle.  Amortizes collection cost across many small
+        passes — the budgeted strategy of
+        :mod:`repro.storage.gc_strategies`.
+        """
+        keys = list(self._objects)
+        if not keys:
+            return 0, 0
+        cursor %= len(keys)
+        discarded = 0
+        scanned = 0
+        while scanned < min(max_objects, len(keys)):
+            key = keys[(cursor + scanned) % len(keys)]
+            discarded += self._objects[key].prune_older_than(horizon)
+            scanned += 1
+        next_cursor = (cursor + scanned) % len(keys)
+        self.gc_discarded += discarded
+        return discarded, next_cursor
+
+    def dump(self, reader: Callable[[Version], Any] | None = None) -> dict[Hashable, list[tuple[int, Any]]]:
+        """Debug/inspection snapshot: ``{key: [(tn, value), ...]}``."""
+        take = reader or (lambda v: v.value)
+        return {
+            key: [(v.tn, take(v)) for v in obj.versions()]
+            for key, obj in self._objects.items()
+        }

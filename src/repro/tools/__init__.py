@@ -1,0 +1,5 @@
+"""Introspection and debugging tools."""
+
+from repro.tools.inspect import describe_vc, dump_version_chains, mvsg_dot, timeline
+
+__all__ = ["describe_vc", "dump_version_chains", "mvsg_dot", "timeline"]

@@ -1,0 +1,146 @@
+"""Tests for Reed's MVTO baseline — including the paper's criticisms."""
+
+import pytest
+
+from repro.baselines import MVTOScheduler
+from repro.errors import AbortReason, TransactionAborted
+from repro.histories import assert_one_copy_serializable
+
+
+@pytest.fixture
+def db():
+    return MVTOScheduler()
+
+
+class TestBasicOperation:
+    def test_timestamps_assigned_at_begin_to_everyone(self, db):
+        rw = db.begin()
+        ro = db.begin(read_only=True)
+        assert rw.tn == 1
+        assert ro.tn == 2, "read-only transactions get timestamps too"
+
+    def test_write_then_read_same_value(self, db):
+        w = db.begin()
+        db.write(w, "x", 5).result()
+        db.commit(w).result()
+        r = db.begin()
+        assert db.read(r, "x").result() == 5
+
+    def test_out_of_timestamp_order_write_into_past(self, db):
+        """Reed allows a write between existing versions when unread."""
+        t1 = db.begin()  # ts=1
+        t2 = db.begin()  # ts=2
+        db.write(t2, "x", 20).result()
+        db.commit(t2).result()
+        f = db.write(t1, "x", 10)  # version 1 slots beneath version 2
+        assert f.done
+        db.commit(t1).result()
+        chain = [v.tn for v in db.store.object("x").versions()]
+        assert chain == [0, 1, 2]
+        assert_one_copy_serializable(db.history)
+
+    def test_late_write_under_read_rejected(self, db):
+        t1 = db.begin()
+        t2 = db.begin()
+        db.read(t2, "x").result()  # reads v0, r_ts(v0)=2
+        f = db.write(t1, "x", 1)
+        assert f.failed
+        assert t1.abort_reason is AbortReason.TIMESTAMP_REJECTED
+
+
+class TestPaperCriticism1Blocking:
+    """Section 2: 'read operations may be blocked due to a pending write'."""
+
+    def test_read_only_read_blocks_on_pending_write(self, db):
+        w = db.begin()  # ts=1
+        db.write(w, "x", 1).result()
+        ro = db.begin(read_only=True)  # ts=2
+        f = db.read(ro, "x")
+        assert f.pending, "read-only reader is NOT independent here"
+        assert db.counters.get("block.ro") == 1
+        db.commit(w).result()
+        assert f.result() == 1
+
+    def test_read_only_unblocked_by_abort(self, db):
+        w = db.begin()
+        db.write(w, "x", 1).result()
+        ro = db.begin(read_only=True)
+        f = db.read(ro, "x")
+        db.abort(w)
+        assert f.result() is None
+
+
+class TestPaperCriticism2Overhead:
+    """Section 2: read-only reads 'must update certain information'."""
+
+    def test_read_only_reads_perform_sync_writes(self, db):
+        w = db.begin()
+        db.write(w, "x", 1).result()
+        db.commit(w).result()
+        ro = db.begin(read_only=True)
+        db.read(ro, "x").result()
+        assert db.counters.get("syncwrite.ro") == 1
+        assert db.counters.get("cc.ro") == 1
+
+    def test_read_only_read_raises_r_ts(self, db):
+        w = db.begin()
+        db.write(w, "x", 1).result()
+        db.commit(w).result()
+        ro = db.begin(read_only=True)  # ts=2
+        db.read(ro, "x").result()
+        version = db.store.object("x").find(1)
+        assert version.r_ts == ro.tn
+        assert version.r_ts_ro == ro.tn
+
+
+class TestPaperCriticism3ReadOnlyCausedAborts:
+    """Section 2: 'a read-only transaction causing an abort of a read-write
+    transaction'."""
+
+    def test_ro_read_aborts_older_writer(self, db):
+        old_writer = db.begin()       # ts=1
+        ro = db.begin(read_only=True)  # ts=2
+        db.read(ro, "x").result()      # r_ts(v0) = 2 set by a read-only txn
+        f = db.write(old_writer, "x", 9)
+        assert f.failed
+        assert old_writer.abort_reason is AbortReason.TIMESTAMP_REJECTED
+        assert old_writer.abort_caused_by_readonly
+        assert db.counters.get("abort.rw.caused_by_readonly") == 1
+
+    def test_attribution_not_blamed_on_ro_when_rw_also_read(self, db):
+        old_writer = db.begin()            # ts=1
+        rw_reader = db.begin()             # ts=2
+        ro = db.begin(read_only=True)      # ts=3
+        db.read(rw_reader, "x").result()   # r_ts_rw = 2
+        db.read(ro, "x").result()          # r_ts_ro = 3
+        f = db.write(old_writer, "x", 9)
+        assert f.failed
+        assert not old_writer.abort_caused_by_readonly, (
+            "the read-write reader alone would have caused the rejection"
+        )
+        assert db.counters.get("abort.rw.caused_by_readonly") == 0
+
+
+class TestSerializability:
+    def test_interleaved_history_is_1sr(self, db):
+        for i in range(4):
+            w = db.begin()
+            ro = db.begin(read_only=True)
+            db.write(w, "a", i).result()
+            f = db.read(ro, "a")  # may block on w's pending write
+            db.commit(w).result()
+            assert f.done
+            db.commit(ro).result()
+        assert_one_copy_serializable(db.history)
+
+    def test_writer_blocked_behind_older_pending_writer(self, db):
+        t1 = db.begin()
+        t2 = db.begin()
+        db.write(t1, "x", 1).result()
+        f = db.write(t2, "x", 2)
+        assert f.pending
+        db.commit(t1).result()
+        assert f.done
+        db.commit(t2).result()
+        assert db.store.read_latest_committed("x").value == 2
+        assert_one_copy_serializable(db.history)

@@ -1,0 +1,159 @@
+"""Tests for the single-version baselines (SV-2PL, SV-TO)."""
+
+import pytest
+
+from repro.baselines import SV2PLScheduler, SVTOScheduler
+from repro.errors import AbortReason, DeadlockError
+from repro.histories import assert_one_copy_serializable
+
+
+class TestSV2PL:
+    @pytest.fixture
+    def db(self):
+        return SV2PLScheduler()
+
+    def test_write_read_roundtrip(self, db):
+        w = db.begin()
+        db.write(w, "x", 1).result()
+        db.commit(w).result()
+        r = db.begin()
+        assert db.read(r, "x").result() == 1
+
+    def test_read_only_transactions_lock_and_block(self, db):
+        """The cost the paper's Section 1 motivates removing."""
+        w = db.begin()
+        db.write(w, "x", 1).result()
+        ro = db.begin(read_only=True)
+        f = db.read(ro, "x")
+        assert f.pending, "read-only reader blocks behind the writer"
+        assert db.counters.get("block.ro") == 1
+        assert db.counters.get("cc.ro") == 1
+        db.commit(w).result()
+        assert f.result() == 1
+
+    def test_read_only_blocks_writer(self, db):
+        ro = db.begin(read_only=True)
+        db.read(ro, "x").result()
+        w = db.begin()
+        f = db.write(w, "x", 1)
+        assert f.pending, "writer stalls behind the read-only reader"
+        db.commit(ro).result()
+        assert f.done
+
+    def test_read_only_can_deadlock(self, db):
+        ro = db.begin(read_only=True)
+        w = db.begin()
+        db.read(ro, "x").result()
+        db.write(w, "y", 1).result()
+        f_ro = db.read(ro, "y")     # ro waits for w
+        assert f_ro.pending
+        f_w = db.write(w, "x", 2)   # w waits for ro: cycle
+        assert f_w.failed
+        assert isinstance(f_w.error, DeadlockError)
+        assert db.counters.get("deadlock") == 1
+
+    def test_aborted_writer_leaves_no_trace(self, db):
+        w = db.begin()
+        db.write(w, "x", 9).result()
+        db.abort(w)
+        r = db.begin()
+        assert db.read(r, "x").result() is None
+
+    def test_history_is_serializable(self, db):
+        for i in range(4):
+            w = db.begin()
+            v = db.read(w, "c").result() or 0
+            db.write(w, "c", v + 1).result()
+            db.commit(w).result()
+        assert db.store.read("c") == (4, 4)
+        assert_one_copy_serializable(db.history)
+
+    def test_pure_reader_rw_txn_gets_tn(self, db):
+        t = db.begin()
+        db.read(t, "x").result()
+        db.commit(t).result()
+        assert t.tn is not None
+
+
+class TestSVTO:
+    @pytest.fixture
+    def db(self):
+        return SVTOScheduler()
+
+    def test_write_read_roundtrip(self, db):
+        w = db.begin()
+        db.write(w, "x", 1).result()
+        db.commit(w).result()
+        r = db.begin()
+        assert db.read(r, "x").result() == 1
+
+    def test_read_only_can_be_rejected(self, db):
+        """Without versions, even read-only transactions restart."""
+        ro = db.begin(read_only=True)  # ts=1
+        w = db.begin()                  # ts=2
+        db.write(w, "x", 5).result()
+        db.commit(w).result()          # w_ts(x) = 2
+        f = db.read(ro, "x")
+        assert f.failed
+        assert ro.abort_reason is AbortReason.TIMESTAMP_REJECTED
+        assert db.counters.get("abort.ro") == 1
+
+    def test_late_write_rejected_by_read(self, db):
+        t1 = db.begin()
+        t2 = db.begin()
+        db.read(t2, "x").result()  # r_ts = 2
+        f = db.write(t1, "x", 1)
+        assert f.failed
+
+    def test_read_blocks_behind_older_prewrite(self, db):
+        t1 = db.begin()
+        t2 = db.begin()
+        db.write(t1, "x", 1).result()
+        f = db.read(t2, "x")
+        assert f.pending
+        db.commit(t1).result()
+        assert f.result() == 1
+
+    def test_write_blocks_behind_older_prewrite(self, db):
+        t1 = db.begin()
+        t2 = db.begin()
+        db.write(t1, "x", 1).result()
+        f = db.write(t2, "x", 2)
+        assert f.pending
+        db.commit(t1).result()
+        assert f.done
+        db.commit(t2).result()
+        assert db.store.read("x") == (2, 2)
+
+    def test_write_under_younger_prewrite_rejected(self, db):
+        t1 = db.begin()
+        t2 = db.begin()
+        db.write(t2, "x", 2).result()
+        f = db.write(t1, "x", 1)
+        assert f.failed
+        assert t1.abort_reason is AbortReason.TIMESTAMP_REJECTED
+
+    def test_aborted_prewriter_unblocks_reader(self, db):
+        t1 = db.begin()
+        t2 = db.begin()
+        db.write(t1, "x", 1).result()
+        f = db.read(t2, "x")
+        db.abort(t1)
+        assert f.result() is None
+
+    def test_own_write_read_back(self, db):
+        t = db.begin()
+        db.write(t, "x", 3).result()
+        assert db.read(t, "x").result() == 3
+
+    def test_history_is_serializable(self, db):
+        for _ in range(5):
+            t = db.begin()
+            f = db.read(t, "x")
+            if f.failed:
+                continue
+            w = db.write(t, "x", (f.result() or 0) + 1)
+            if w.failed:
+                continue
+            db.commit(t).result()
+        assert_one_copy_serializable(db.history)

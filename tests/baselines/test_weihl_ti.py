@@ -1,0 +1,116 @@
+"""Tests for the Weihl timestamps-at-initiation reconstruction."""
+
+import pytest
+
+from repro.baselines import WeihlTIScheduler
+from repro.histories import assert_one_copy_serializable
+
+
+@pytest.fixture
+def db():
+    return WeihlTIScheduler()
+
+
+class TestBasicOperation:
+    def test_everyone_gets_initiation_timestamp(self, db):
+        rw = db.begin()
+        ro = db.begin(read_only=True)
+        assert rw.tn == 1
+        assert ro.tn == 2
+
+    def test_write_read_roundtrip(self, db):
+        w = db.begin()
+        db.write(w, "x", 5).result()
+        db.commit(w).result()
+        r = db.begin(read_only=True)
+        assert db.read(r, "x").result() == 5
+
+    def test_rw_retimestamps_past_read_floor(self, db):
+        """A writer whose initiation timestamp is under a read floor must
+        re-timestamp at commit — the writer's half of the race."""
+        w = db.begin()             # ts=1
+        ro = db.begin(read_only=True)  # ts=2
+        db.read(ro, "x").result()  # floor(x) = 2
+        db.write(w, "x", 9).result()
+        db.commit(w).result()
+        assert w.tn > ro.tn, "final timestamp pushed above the floor"
+        assert db.counters.get("weihl.rw_retimestamp") >= 1
+        db.commit(ro).result()
+        assert_one_copy_serializable(db.history)
+
+    def test_rw_keeps_timestamp_when_unobstructed(self, db):
+        w = db.begin()
+        db.write(w, "x", 1).result()
+        db.commit(w).result()
+        assert w.tn == 1
+        assert db.counters.get("weihl.rw_retimestamp") == 0
+
+
+class TestReadOnlySynchronization:
+    """The RO-side synchronization the paper contrasts with its own scheme."""
+
+    def test_ro_blocks_behind_lower_tentative_writer(self, db):
+        w = db.begin()                  # ts=1
+        db.write(w, "x", 7).result()    # tentative ts 1 published
+        ro = db.begin(read_only=True)   # ts=2
+        f = db.read(ro, "x")
+        assert f.pending, "reader must synchronize with the concurrent writer"
+        assert db.counters.get("weihl.ro_sync") == 1
+        db.commit(w).result()
+        assert f.done
+
+    def test_ro_does_not_block_on_higher_tentative_writer(self, db):
+        ro = db.begin(read_only=True)  # ts=1
+        w = db.begin()                 # ts=2
+        db.write(w, "x", 7).result()
+        f = db.read(ro, "x")
+        assert f.done, "writer above our timestamp cannot affect our view"
+        assert f.result() is None
+
+    def test_ro_sync_write_counted(self, db):
+        ro = db.begin(read_only=True)
+        db.read(ro, "x").result()
+        assert db.counters.get("syncwrite.ro") == 1
+
+    def test_race_reader_waits_and_writer_retimestamps(self, db):
+        """Both halves of the race fire on the same conflict."""
+        w = db.begin()                 # ts=1
+        db.write(w, "x", 7).result()
+        ro = db.begin(read_only=True)  # ts=2
+        db.read(ro, "y").result()      # unrelated: fine
+        f = db.read(ro, "x")           # blocked behind w
+        # Meanwhile another reader raises the floor on x above w's ts.
+        ro2 = db.begin(read_only=True)  # ts=3
+        f2 = db.read(ro2, "x")
+        assert f.pending and f2.pending
+        db.commit(w).result()
+        assert db.counters.get("weihl.rw_retimestamp") >= 1
+        assert f.done and f2.done
+        # Both readers see the initial version: w finished above them.
+        assert f.result() is None and f2.result() is None
+        db.commit(ro).result()
+        db.commit(ro2).result()
+        assert_one_copy_serializable(db.history)
+
+
+class TestSerializability:
+    def test_mixed_history_is_1sr(self, db):
+        for i in range(5):
+            w = db.begin()
+            ro = db.begin(read_only=True)
+            db.read(ro, "a").result()
+            db.write(w, "a", i).result()
+            db.commit(w).result()
+            db.commit(ro).result()
+        assert_one_copy_serializable(db.history)
+
+    def test_rw_reading_later_version_retimestamps(self, db):
+        t1 = db.begin()  # ts=1
+        t2 = db.begin()  # ts=2
+        db.write(t2, "x", 2).result()
+        db.commit(t2).result()
+        v = db.read(t1, "x").result()  # reads version 2 with ts 1
+        db.write(t1, "y", v).result()
+        db.commit(t1).result()
+        assert t1.tn > t2.tn, "re-timestamped above the version it read"
+        assert_one_copy_serializable(db.history)

@@ -1,0 +1,81 @@
+"""Tests for table rendering and fast smoke runs of the experiment suite."""
+
+import pytest
+
+from repro.bench.experiments import (
+    exp_a_ro_overhead,
+    exp_d_visibility_lag,
+    exp_j_distributed,
+    exp_l_uniformity,
+)
+from repro.bench.tables import format_value, print_table, render_table
+
+
+class TestFormatValue:
+    def test_bools(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_zero_float(self):
+        assert format_value(0.0) == "0"
+
+    def test_small_float_three_decimals(self):
+        assert format_value(0.12345) == "0.123"
+
+    def test_medium_float_one_decimal(self):
+        assert format_value(42.25) == "42.2"
+
+    def test_large_float_thousands(self):
+        assert format_value(12345.6) == "12,346"
+
+    def test_strings_and_ints_verbatim(self):
+        assert format_value("abc") == "abc"
+        assert format_value(7) == "7"
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(["name", "n"], [["a", 1], ["bbbb", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert "-+-" in lines[2]
+        assert len({len(line) for line in lines[1:]}) == 1, "all rows same width"
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_print_table_returns_text(self, capsys):
+        text = print_table(["x"], [[1]])
+        out = capsys.readouterr().out
+        assert text in out
+
+
+class TestExperimentSmoke:
+    """Short-duration sanity runs of representative experiments."""
+
+    def test_exp_a_summary_keys(self):
+        result = exp_a_ro_overhead(duration=60.0)
+        assert result.exp_id == "EXP-A"
+        assert result.summary["vc-2pl.cc_per_ro"] == 0
+        assert len(result.rows) == 8
+
+    def test_exp_d_rows(self):
+        result = exp_d_visibility_lag(duration=80.0)
+        assert [row[0] for row in result.rows] == [
+            "short(2-4)",
+            "medium(6-10)",
+            "long(14-20)",
+        ]
+
+    def test_exp_j_small(self):
+        result = exp_j_distributed(rounds=6)
+        assert result.summary["dvc-2pl.torn"] == 0
+        assert result.summary["dmv2pl.torn"] > 0
+
+    def test_exp_l_uniform_ro_profile(self):
+        result = exp_l_uniformity(duration=60.0)
+        for name in ("vc-2pl", "vc-to", "vc-occ"):
+            assert result.summary[f"{name}.cc_ro"] == 0
+            assert result.summary[f"{name}.serializable"] is True

@@ -1,0 +1,192 @@
+"""Tests for the multi-granularity lock manager."""
+
+import pytest
+
+from repro.cc.granular import (
+    GranularLockManager,
+    GranularMode as M,
+    combine,
+    covers,
+    granular_compatible,
+)
+from repro.errors import DeadlockError, ProtocolError
+
+DB = ("db",)
+
+
+def key(k):
+    return ("db", k)
+
+
+class TestCompatibilityMatrix:
+    def test_full_matrix(self):
+        expected_yes = {
+            (M.IS, M.IS), (M.IS, M.IX), (M.IS, M.S), (M.IS, M.SIX),
+            (M.IX, M.IS), (M.IX, M.IX),
+            (M.S, M.IS), (M.S, M.S),
+            (M.SIX, M.IS),
+        }
+        for a in M:
+            for b in M:
+                assert granular_compatible(a, b) == ((a, b) in expected_yes), (a, b)
+
+    def test_matrix_is_symmetric(self):
+        for a in M:
+            for b in M:
+                assert granular_compatible(a, b) == granular_compatible(b, a)
+
+    def test_x_conflicts_with_everything(self):
+        assert not any(granular_compatible(M.X, m) for m in M)
+
+
+class TestCoversAndCombine:
+    def test_x_covers_all(self):
+        assert all(covers(M.X, m) for m in M)
+
+    def test_six_covers_s_and_intentions(self):
+        assert covers(M.SIX, M.S)
+        assert covers(M.SIX, M.IS)
+        assert covers(M.SIX, M.IX)
+        assert not covers(M.SIX, M.X)
+
+    def test_s_plus_ix_is_six(self):
+        assert combine(M.S, M.IX) is M.SIX
+        assert combine(M.IX, M.S) is M.SIX
+
+    def test_combine_keeps_covering_mode(self):
+        assert combine(M.X, M.S) is M.X
+        assert combine(M.SIX, M.IX) is M.SIX
+
+    def test_combine_upgrades(self):
+        assert combine(M.IS, M.X) is M.X
+        assert combine(M.IX, M.X) is M.X
+
+
+class TestIntentionAcquisition:
+    def test_leaf_lock_takes_ancestor_intentions(self):
+        lm = GranularLockManager()
+        assert lm.acquire(1, key("x"), M.X).done
+        assert lm.holders(DB) == {1: M.IX}
+        assert lm.holders(key("x")) == {1: M.X}
+
+    def test_shared_leaf_takes_is_at_root(self):
+        lm = GranularLockManager()
+        lm.acquire(1, key("x"), M.S).result()
+        assert lm.holders(DB) == {1: M.IS}
+
+    def test_two_writers_different_keys_coexist(self):
+        lm = GranularLockManager()
+        assert lm.acquire(1, key("x"), M.X).done
+        assert lm.acquire(2, key("y"), M.X).done
+        assert lm.holders(DB) == {1: M.IX, 2: M.IX}
+
+    def test_root_s_blocks_key_writer(self):
+        lm = GranularLockManager()
+        lm.acquire(1, DB, M.S).result()
+        f = lm.acquire(2, key("x"), M.X)  # needs IX at root: incompatible
+        assert f.pending
+        lm.release_all(1)
+        assert f.done
+
+    def test_key_writer_blocks_root_s(self):
+        lm = GranularLockManager()
+        lm.acquire(1, key("x"), M.X).result()
+        f = lm.acquire(2, DB, M.S)
+        assert f.pending
+        lm.release_all(1)
+        assert f.done
+
+    def test_root_s_compatible_with_key_readers(self):
+        lm = GranularLockManager()
+        lm.acquire(1, key("x"), M.S).result()  # IS at root
+        assert lm.acquire(2, DB, M.S).done
+
+    def test_scan_then_write_converts_to_six(self):
+        lm = GranularLockManager()
+        lm.acquire(1, DB, M.S).result()
+        assert lm.acquire(1, key("x"), M.X).done
+        assert lm.holders(DB) == {1: M.SIX}
+
+    def test_empty_path_rejected(self):
+        lm = GranularLockManager()
+        with pytest.raises(ProtocolError):
+            lm.acquire(1, (), M.S)
+
+    def test_one_pending_request_enforced(self):
+        lm = GranularLockManager()
+        lm.acquire(1, key("x"), M.X).result()
+        lm.acquire(2, key("x"), M.X)
+        with pytest.raises(ProtocolError, match="pending"):
+            lm.acquire(2, key("y"), M.S)
+
+
+class TestBlockingAndRelease:
+    def test_fifo_at_a_node(self):
+        lm = GranularLockManager()
+        lm.acquire(1, key("x"), M.X).result()
+        f2 = lm.acquire(2, key("x"), M.X)
+        f3 = lm.acquire(3, key("x"), M.S)
+        assert f2.pending and f3.pending
+        lm.release_all(1)
+        assert f2.done and f3.pending
+        lm.release_all(2)
+        assert f3.done
+
+    def test_release_clears_intentions(self):
+        lm = GranularLockManager()
+        lm.acquire(1, key("x"), M.X).result()
+        lm.release_all(1)
+        assert lm.is_idle()
+        assert lm.held_by(1) == {}
+
+    def test_conversion_jumps_queue(self):
+        lm = GranularLockManager()
+        lm.acquire(1, key("x"), M.S).result()
+        lm.acquire(2, key("x"), M.S).result()
+        f3 = lm.acquire(3, key("x"), M.X)       # fresh waiter
+        up = lm.acquire(1, key("x"), M.X)       # conversion S->X
+        assert f3.pending and up.pending
+        lm.release_all(2)
+        assert up.done, "conversion granted first"
+        lm.release_all(1)
+        assert f3.done
+
+
+class TestDeadlock:
+    def test_cross_key_deadlock(self):
+        lm = GranularLockManager()
+        lm.acquire(1, key("x"), M.X).result()
+        lm.acquire(2, key("y"), M.X).result()
+        f1 = lm.acquire(1, key("y"), M.X)
+        assert f1.pending
+        f2 = lm.acquire(2, key("x"), M.X)
+        assert f2.failed
+        assert isinstance(f2.error, DeadlockError)
+        assert lm.deadlocks == 1
+        lm.release_all(2)
+        assert f1.done
+
+    def test_root_vs_leaf_deadlock(self):
+        lm = GranularLockManager()
+        lm.acquire(1, key("x"), M.X).result()   # IX at root
+        lm.acquire(2, key("y"), M.S).result()   # IS at root
+        f2 = lm.acquire(2, DB, M.S)             # waits: conversion IS->S vs IX
+        assert f2.pending
+        f1 = lm.acquire(1, key("y"), M.X)       # waits for 2's S on y: cycle
+        assert f1.failed
+        lm.release_all(1)
+        assert f2.done
+
+
+class TestGrantAccounting:
+    def test_scan_is_one_grant_vs_n(self):
+        lm = GranularLockManager()
+        # Per-key reader: N leaf grants + 1 root intention.
+        for i in range(10):
+            lm.acquire(1, key(f"k{i}"), M.S).result()
+        per_key_grants = lm.grants
+        lm.release_all(1)
+        lm2 = GranularLockManager()
+        lm2.acquire(2, DB, M.S).result()
+        assert lm2.grants == 1
+        assert per_key_grants == 11  # 10 leaves + 1 root IS

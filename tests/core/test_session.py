@@ -1,0 +1,140 @@
+"""Tests for the Database session facade."""
+
+import pytest
+
+from repro.core.session import Database
+from repro.errors import TransactionAborted, ValidationError
+from repro.protocols import VCOCCScheduler, VCTOScheduler
+
+
+class TestTransactionContext:
+    def test_commit_on_clean_exit(self):
+        db = Database("vc-2pl")
+        with db.transaction() as txn:
+            txn["x"] = 5
+        with db.snapshot() as snap:
+            assert snap["x"] == 5
+
+    def test_abort_on_exception(self):
+        db = Database("vc-2pl")
+        with pytest.raises(RuntimeError):
+            with db.transaction() as txn:
+                txn["x"] = 5
+                raise RuntimeError("client bug")
+        with db.snapshot() as snap:
+            assert snap["x"] is None
+
+    def test_explicit_abort_then_clean_exit(self):
+        db = Database("vc-2pl")
+        with db.transaction() as txn:
+            txn["x"] = 5
+            txn.abort()
+        with db.snapshot() as snap:
+            assert snap["x"] is None
+
+    def test_read_many(self):
+        db = Database("vc-to")
+        with db.transaction() as txn:
+            txn["a"], txn["b"] = 1, 2
+        with db.snapshot() as snap:
+            assert snap.read_many(["a", "b"]) == {"a": 1, "b": 2}
+
+    def test_snapshot_is_read_only(self):
+        db = Database("vc-2pl")
+        with pytest.raises(Exception):
+            with db.snapshot() as snap:
+                snap["x"] = 1
+
+    def test_descriptor_accessible(self):
+        db = Database("vc-to")
+        with db.transaction() as txn:
+            txn["x"] = 1
+            assert txn.txn.tn is not None
+
+
+class TestConstruction:
+    def test_by_name(self):
+        db = Database("vc-occ")
+        assert isinstance(db.scheduler, VCOCCScheduler)
+
+    def test_by_instance(self):
+        sched = VCTOScheduler()
+        db = Database(sched)
+        assert db.scheduler is sched
+
+    def test_kwargs_with_instance_rejected(self):
+        with pytest.raises(TypeError):
+            Database(VCTOScheduler(), checked=False)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown protocol"):
+            Database("vc-nonsense")
+
+
+class TestRunWithRetries:
+    def test_returns_body_result(self):
+        db = Database("vc-2pl")
+        assert db.run(lambda txn: 42) == 42
+
+    def test_counter_increment_retries_under_occ(self):
+        db = Database("vc-occ")
+        with db.transaction() as txn:
+            txn["c"] = 0
+
+        # Interleave a conflicting committed write between body and commit by
+        # sabotaging from inside the body on the first attempt.
+        attempts = []
+
+        def increment(txn):
+            value = txn["c"]
+            if not attempts:
+                attempts.append(1)
+                with db.transaction() as saboteur:
+                    saboteur["c"] = 100
+            txn["c"] = value + 1
+            return value + 1
+
+        result = db.run(increment)
+        assert result == 101, "second attempt read the saboteur's value"
+        with db.snapshot() as snap:
+            assert snap["c"] == 101
+
+    def test_retries_exhausted_reraises(self):
+        db = Database("vc-occ")
+
+        def always_conflicts(txn):
+            value = txn["c"]
+            with db.transaction() as other:
+                other["c"] = (value or 0) + 1
+            txn["c"] = -1
+            return value
+
+        with pytest.raises(ValidationError):
+            db.run(always_conflicts, retries=3)
+
+    def test_body_exception_propagates_without_retry(self):
+        db = Database("vc-2pl")
+        calls = []
+
+        def bad(txn):
+            calls.append(1)
+            raise KeyError("boom")
+
+        with pytest.raises(KeyError):
+            db.run(bad)
+        assert len(calls) == 1
+
+    def test_read_only_run(self):
+        db = Database("vc-to")
+        with db.transaction() as txn:
+            txn["x"] = 9
+        value = db.run(lambda txn: txn["x"], read_only=True)
+        assert value == 9
+        assert db.counters.get("cc.ro") == 0
+
+    def test_check_serializable_passthrough(self):
+        db = Database("vc-2pl")
+        with db.transaction() as txn:
+            txn["x"] = 1
+        report = db.check_serializable()
+        assert report.serializable

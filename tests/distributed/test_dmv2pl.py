@@ -1,0 +1,188 @@
+"""Tests for the distributed MV2PL baseline — including the ref [8] anomaly.
+
+The paper's Section 2: the distributed variant of Chan's protocol (a) needs
+a-priori knowledge of read sites and (b) "does not guarantee global
+serializability of read-only transactions".  Both are demonstrated
+executable here; the distributed VC database passes the same scenarios.
+"""
+
+import pytest
+
+from repro.distributed import Courier, DistributedMV2PL, DistributedVCDatabase
+from repro.errors import ProtocolError
+from repro.histories import check_one_copy_serializable
+from repro.histories.mvsg import multiversion_serialization_graph
+
+
+def global_check(db: DistributedMV2PL):
+    """Check global 1SR under the protocol's own version order."""
+    projected = db.history.committed_projection()
+    graph = multiversion_serialization_graph(projected, db.global_version_order())
+    return graph.find_cycle()
+
+
+class TestBasicOperation:
+    def test_single_site_roundtrip(self):
+        db = DistributedMV2PL(n_sites=2)
+        t = db.begin()
+        db.write(t, "s1:x", 5).result()
+        db.commit(t).result()
+        ro = db.begin(read_only=True, read_sites=[1])
+        assert db.read(ro, "s1:x").result() == 5
+        db.commit(ro).result()
+
+    def test_cross_site_write_and_read(self):
+        db = DistributedMV2PL(n_sites=2)
+        t = db.begin()
+        db.write(t, "s1:x", 1).result()
+        db.write(t, "s2:y", 2).result()
+        db.commit(t).result()
+        ro = db.begin(read_only=True, read_sites=[1, 2])
+        assert db.read(ro, "s1:x").result() == 1
+        assert db.read(ro, "s2:y").result() == 2
+        db.commit(ro).result()
+
+    def test_ctl_consulted_per_read(self):
+        db = DistributedMV2PL(n_sites=1)
+        t = db.begin()
+        db.write(t, "s1:x", 1).result()
+        db.commit(t).result()
+        ro = db.begin(read_only=True, read_sites=[1])
+        db.read(ro, "s1:x").result()
+        assert db.counters.get("ctl.membership_checks") >= 1
+        assert db.counters.get("ctl.copied_entries") >= 1
+
+
+class TestAPrioriKnowledge:
+    def test_read_sites_required(self):
+        db = DistributedMV2PL(n_sites=2)
+        with pytest.raises(ProtocolError, match="a priori"):
+            db.begin(read_only=True)
+
+    def test_undeclared_site_rejected(self):
+        db = DistributedMV2PL(n_sites=2)
+        ro = db.begin(read_only=True, read_sites=[1])
+        with pytest.raises(ProtocolError, match="not declared"):
+            db.read(ro, "s2:y")
+
+    def test_vc_database_has_no_such_requirement(self):
+        db = DistributedVCDatabase(n_sites=2)
+        ro = db.begin(read_only=True)  # no site list anywhere
+        assert db.read(ro, "s1:x").done
+        assert db.read(ro, "s2:y").done
+
+
+class TestGlobalSerializabilityAnomaly:
+    def _anomaly_schedule(self, db, courier):
+        """The torn-read schedule.
+
+        A read-only transaction R fetches site 1's snapshot, then a
+        distributed update T commits at both sites, then R fetches site 2's
+        snapshot: R sees pre-T state at site 1 and post-T state at site 2.
+        """
+        t0 = db.begin()
+        f1 = db.write(t0, "s1:x", "old")
+        f2 = db.write(t0, "s2:y", "old")
+        courier.pump()
+        f1.result(), f2.result()
+        c0 = db.commit(t0)
+        courier.pump()
+        assert c0.done
+
+        ro = db.begin(read_only=True, read_sites=[1, 2])
+        courier.pump(1)  # fetch snapshot from site 1 only
+        assert courier.pending() == 1, "site-2 fetch still in flight"
+
+        t1 = db.begin()
+        fx = db.write(t1, "s1:x", "new")
+        fy = db.write(t1, "s2:y", "new")
+        courier.defer(1)  # the slow site-2 fetch falls behind T1's messages
+        courier.pump(2)
+        fx.result(), fy.result()
+        c1 = db.commit(t1)
+        courier.defer(1)  # still behind T1's prepare/commit traffic
+        courier.pump(4)  # T1 commits at BOTH sites inside R's fetch window
+        assert c1.done
+
+        courier.pump()  # R's delayed snapshot fetch (site 2) + reads
+        x = db.read(ro, "s1:x")
+        y = db.read(ro, "s2:y")
+        courier.pump()
+        db.commit(ro).result()
+        return x.result(), y.result()
+
+    def test_torn_read_occurs_under_dmv2pl(self):
+        courier = Courier(manual=True)
+        db = DistributedMV2PL(n_sites=2, courier=courier)
+        x, y = self._anomaly_schedule(db, courier)
+        assert (x, y) == ("old", "new"), "the reader saw half of T1"
+        cycle = global_check(db)
+        assert cycle is not None, "global history must NOT be 1SR"
+
+    def test_same_schedule_is_safe_under_distributed_vc(self):
+        """Point-for-point contrast: the VC database under the same
+        interleaving gives the reader an all-or-nothing view."""
+        courier = Courier(manual=True)
+        db = DistributedVCDatabase(n_sites=2, courier=courier)
+        t0 = db.begin()
+        f1, f2 = db.write(t0, "s1:x", "old"), db.write(t0, "s2:y", "old")
+        courier.pump()
+        f1.result(), f2.result()
+        c0 = db.commit(t0)
+        courier.pump()
+        assert c0.done
+
+        ro = db.begin(read_only=True)  # single global start number
+
+        t1 = db.begin()
+        fx, fy = db.write(t1, "s1:x", "new"), db.write(t1, "s2:y", "new")
+        courier.pump()
+        fx.result(), fy.result()
+        c1 = db.commit(t1)
+        courier.pump()
+        assert c1.done
+
+        x, y = db.read(ro, "s1:x"), db.read(ro, "s2:y")
+        courier.pump()
+        db.commit(ro).result()
+        assert (x.result(), y.result()) == ("old", "old")
+        assert check_one_copy_serializable(db.history).serializable
+
+    def test_randomized_runs_quantify_the_gap(self):
+        """Random cross-site traffic: dMV2PL occasionally produces torn
+        global views; distributed VC never does.  (EXP-J scales this up.)"""
+        import random
+
+        def run_dmv2pl(seed):
+            rng = random.Random(seed)
+            courier = Courier(manual=True)
+            db = DistributedMV2PL(n_sites=2, courier=courier)
+            outcomes = []
+            for i in range(12):
+                t = db.begin()
+                db.write(t, "s1:a", i)
+                db.write(t, "s2:b", i)
+                db.commit(t)
+                if rng.random() < 0.7:
+                    ro = db.begin(read_only=True, read_sites=[1, 2])
+                    fa = db.read(ro, "s1:a")
+                    fb = db.read(ro, "s2:b")
+                    outcomes.append((ro, fa, fb))
+                # Deliver a random number of queued messages: interleaving.
+                courier.pump(rng.randint(1, 6))
+            courier.pump()
+            torn = 0
+            for ro, fa, fb in outcomes:
+                db.commit(ro)
+                if fa.done and fb.done and fa.result() != fb.result():
+                    torn += 1
+            return torn, global_check(db)
+
+        torn_total = 0
+        cycles = 0
+        for seed in range(12):
+            torn, cycle = run_dmv2pl(seed)
+            torn_total += torn
+            cycles += 1 if cycle is not None else 0
+        assert torn_total > 0, "the anomaly should appear across seeds"
+        assert cycles > 0, "some global histories must be non-1SR"

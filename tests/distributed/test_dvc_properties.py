@@ -1,0 +1,115 @@
+"""Property-based tests for distributed version control (hold/adopt/complete).
+
+Randomized 2PC-shaped traffic over several sites: local transactions hold
+and complete at one site; distributed transactions hold at many sites, adopt
+the max, and complete everywhere.  Invariants checked throughout:
+
+* per-site queues stay sorted and visibility never covers a pending entry;
+* a site's visibility only advances;
+* after everything completes, each site's visibility covers every number it
+  ever saw.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed.dvc import DistributedVersionControl
+from repro.distributed.gtn import counter_of
+
+N_SITES = 3
+
+
+@settings(max_examples=150, deadline=None)
+@given(data=st.data())
+def test_property_random_two_phase_traffic(data):
+    sites = {sid: DistributedVersionControl(sid) for sid in range(1, N_SITES + 1)}
+    vtnc_floor = {sid: sites[sid].vtnc for sid in sites}
+    # In-flight transactions: txn_key -> {site: hold} (pre-decision).
+    inflight: dict[int, dict[int, int]] = {}
+    decided: dict[int, tuple[int, set[int]]] = {}  # txn -> (final, remaining sites)
+    next_txn = [1]
+    seen_numbers: dict[int, set[int]] = {sid: set() for sid in sites}
+
+    def check() -> None:
+        for sid, vc in sites.items():
+            assert vc.vtnc >= vtnc_floor[sid], "visibility regressed"
+            vtnc_floor[sid] = vc.vtnc
+
+    for _ in range(40):
+        choices = ["begin"]
+        if inflight:
+            choices.append("decide")
+        if decided:
+            choices.append("commit_site")
+        action = data.draw(st.sampled_from(choices))
+        if action == "begin":
+            txn = next_txn[0]
+            next_txn[0] += 1
+            n_parts = data.draw(st.integers(1, N_SITES))
+            participants = data.draw(
+                st.permutations(list(sites)).map(lambda p: p[:n_parts])
+            )
+            holds = {}
+            for sid in participants:
+                holds[sid] = sites[sid].hold(txn)
+                seen_numbers[sid].add(holds[sid])
+            inflight[txn] = holds
+        elif action == "decide":
+            txn = data.draw(st.sampled_from(sorted(inflight)))
+            holds = inflight.pop(txn)
+            final = max(holds.values())
+            decided[txn] = (final, set(holds))
+            for sid in holds:
+                sites[sid].adopt(txn, final)
+                seen_numbers[sid].add(final)
+        else:
+            txn = data.draw(st.sampled_from(sorted(decided)))
+            final, remaining = decided[txn]
+            sid = data.draw(st.sampled_from(sorted(remaining)))
+            sites[sid].complete(txn)
+            remaining.discard(sid)
+            if not remaining:
+                del decided[txn]
+        check()
+
+    # Drain everything.
+    for txn, holds in list(inflight.items()):
+        final = max(holds.values())
+        for sid in holds:
+            sites[sid].adopt(txn, final)
+            seen_numbers[sid].add(final)
+            sites[sid].complete(txn)
+        del inflight[txn]
+    for txn, (final, remaining) in list(decided.items()):
+        for sid in list(remaining):
+            sites[sid].complete(txn)
+        del decided[txn]
+    check()
+    for sid, vc in sites.items():
+        assert vc.queue_length() == 0
+        for number in seen_numbers[sid]:
+            assert vc.vtnc >= number, (
+                f"site {sid} visibility {vc.vtnc} below seen number {number}"
+            )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    local_counts=st.lists(st.integers(0, 5), min_size=3, max_size=3),
+    target_counter=st.integers(1, 50),
+)
+def test_property_fast_forward_never_undermines_future_holds(local_counts, target_counter):
+    """After try_advance_to, every future hold exceeds the advanced point."""
+    from repro.distributed.gtn import make_gtn
+
+    vc = DistributedVersionControl(site_id=2)
+    for i, n in enumerate(local_counts):
+        for _ in range(n):
+            txn = (i + 1) * 100 + _
+            vc.hold(txn)
+            vc.complete(txn)
+    target = make_gtn(target_counter, 3)
+    if vc.try_advance_to(target):
+        hold = vc.hold(999_999)
+        assert hold > target
+        assert hold > vc.vtnc

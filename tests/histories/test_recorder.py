@@ -1,0 +1,99 @@
+"""Tests for the scheduler-to-history bridge."""
+
+import pytest
+
+from repro.core.transaction import Transaction, TxnClass
+from repro.histories.operations import OpKind
+from repro.histories.recorder import RO_ID_OFFSET, HistoryRecorder
+
+
+def rw_txn(tn=None):
+    t = Transaction()
+    t.tn = tn
+    return t
+
+
+def ro_txn(sn=0):
+    t = Transaction(TxnClass.READ_ONLY)
+    t.sn = sn
+    return t
+
+
+class TestIdentity:
+    def test_read_write_identity_is_tn(self):
+        assert HistoryRecorder.identity(rw_txn(tn=7)) == 7
+
+    def test_read_only_identity_is_offset_id(self):
+        t = ro_txn()
+        assert HistoryRecorder.identity(t) == RO_ID_OFFSET + t.txn_id
+
+    def test_unnumbered_read_write_rejected(self):
+        with pytest.raises(ValueError, match="no tn"):
+            HistoryRecorder.identity(rw_txn())
+
+
+class TestBufferingAndFlush:
+    def test_operations_flushed_under_tn_at_commit(self):
+        rec = HistoryRecorder()
+        t = rw_txn()
+        rec.record_begin(t)
+        rec.record_read(t, "x", 0)
+        rec.record_write(t, "x")
+        t.tn = 3  # assigned late, as under 2PL
+        rec.record_commit(t)
+        h = rec.history
+        assert str(h) == "b3 r3[x_0] w3[x_3] c3"
+
+    def test_own_write_read_fixed_up(self):
+        rec = HistoryRecorder()
+        t = rw_txn()
+        rec.record_write(t, "x")
+        rec.record_read(t, "x", None)  # own staged write
+        t.tn = 5
+        rec.record_commit(t)
+        reads = [op for op in rec.history if op.kind is OpKind.READ]
+        assert reads[0].version == 5
+
+    def test_aborted_unnumbered_txn_gets_negative_identity(self):
+        rec = HistoryRecorder()
+        t = rw_txn()
+        rec.record_read(t, "x", 0)
+        rec.record_abort(t)
+        idents = {op.txn for op in rec.history}
+        assert all(i < 0 for i in idents)
+        assert rec.history.committed() == set()
+
+    def test_aborted_numbered_txn_keeps_tn(self):
+        rec = HistoryRecorder()
+        t = rw_txn(tn=4)
+        rec.record_write(t, "x")
+        rec.record_abort(t)
+        assert {op.txn for op in rec.history} == {4}
+
+    def test_read_only_commit(self):
+        rec = HistoryRecorder()
+        t = ro_txn()
+        rec.record_begin(t)
+        rec.record_read(t, "x", 2)
+        rec.record_commit(t)
+        ident = RO_ID_OFFSET + t.txn_id
+        assert rec.history.committed() == {ident}
+        assert (ident, 2, "x") in rec.history.reads_from()
+
+    def test_full_history_includes_in_flight(self):
+        rec = HistoryRecorder()
+        t = rw_txn()
+        rec.record_read(t, "x", 0)
+        assert len(rec.history) == 0
+        full = rec.full_history()
+        assert len(full) == 2  # begin + read under pseudo identity
+        assert full.committed() == set()
+
+    def test_distinct_ro_txns_do_not_collide(self):
+        rec = HistoryRecorder()
+        a, b = ro_txn(), ro_txn()
+        rec.record_read(a, "x", 0)
+        rec.record_read(b, "x", 0)
+        rec.record_commit(a)
+        rec.record_commit(b)
+        assert len(rec.history.committed()) == 2

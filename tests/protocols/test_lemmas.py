@@ -1,0 +1,126 @@
+"""Paper Section 5: Lemmas 1-3 and Theorem 1 as executable assertions.
+
+The proofs treat the lemmas as formal specifications of the protocol; here
+they are checked directly against randomized executions of VC + timestamp
+ordering (and, where the lemma applies, VC + 2PL), using the ground-truth
+transaction descriptors the stress driver retains.
+"""
+
+import pytest
+
+from repro.core.transaction import Transaction
+from repro.histories import assert_one_copy_serializable
+from repro.protocols.registry import make_scheduler
+from tests.stress.driver import RandomDriver
+
+SEEDS = range(5)
+
+
+def run(name: str, seed: int) -> RandomDriver:
+    driver = RandomDriver(make_scheduler(name), seed=seed)
+    driver.run(250)
+    return driver
+
+
+def committed(driver) -> list[Transaction]:
+    return [t for t in driver.all_txns if t.state.value == "committed"]
+
+
+def effective_tn(txn: Transaction) -> float:
+    """tn(T) in the proofs: the transaction number, or sn for read-only
+    transactions (the paper sets tn(T) = sn(T) for them 'for proving
+    correctness')."""
+    if txn.is_read_only:
+        assert txn.sn is not None
+        return txn.sn
+    assert txn.tn is not None
+    return txn.tn
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", ["vc-to", "vc-2pl", "vc-occ"])
+def test_lemma_1_unique_transaction_numbers(name, seed):
+    """Lemma 1: each read-write transaction has a unique tn."""
+    driver = run(name, seed)
+    tns = [t.tn for t in committed(driver) if t.is_read_write]
+    assert len(tns) == len(set(tns))
+    assert all(tn is not None for tn in tns)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_lemma_2_reads_only_from_predecessors(seed):
+    """Lemma 2: for every r_k[x_j], tn(T_j) <= tn(T_k).
+
+    Checked from ground truth: every committed transaction's read set maps
+    keys to the version number (creator tn) it read.
+    """
+    driver = run("vc-to", seed)
+    for txn in committed(driver):
+        bound = effective_tn(txn)
+        for key, version_tn in txn.read_set.items():
+            if version_tn < 0:
+                continue  # own staged write
+            assert version_tn <= bound, (
+                f"T(tn={bound}) read {key} from version {version_tn}"
+            )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_lemma_2_strict_for_read_write(seed):
+    """Read-write readers see strictly older versions (tn is unique)."""
+    driver = run("vc-to", seed)
+    for txn in committed(driver):
+        if not txn.is_read_write:
+            continue
+        for version_tn in txn.read_set.values():
+            if version_tn >= 0:
+                assert version_tn < txn.tn
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_lemma_3_no_write_between_read_and_its_version(seed):
+    """Lemma 3: for every r_k[x_j] and w_i[x_i] with i, j, k distinct,
+    either tn(T_i) < tn(T_j) or tn(T_k) < tn(T_i).
+
+    Equivalently: no committed write on x lands strictly between the
+    version a committed reader saw and the reader's own number.
+    """
+    driver = run("vc-to", seed)
+    txns = committed(driver)
+    writes: dict[str, list[int]] = {}
+    for txn in txns:
+        if txn.is_read_write:
+            for key in txn.write_set:
+                writes.setdefault(key, []).append(txn.tn)
+    for txn in txns:
+        k = effective_tn(txn)
+        for key, j in txn.read_set.items():
+            if j < 0:
+                continue
+            for i in writes.get(key, ()):
+                if i == j or (txn.is_read_write and i == txn.tn):
+                    continue
+                assert i < j or k < i, (
+                    f"w[{key}] at tn={i} violates the Lemma 3 window "
+                    f"(read version {j}, reader tn {k})"
+                )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", ["vc-to", "vc-2pl", "vc-occ"])
+def test_theorem_1_one_copy_serializable(name, seed):
+    """Theorem 1 (and its 2PL/OCC analogues): every history is 1SR."""
+    driver = run(name, seed)
+    assert_one_copy_serializable(driver.scheduler.history)
+    # The core of the proof: every MVSG edge between read-write transactions
+    # follows transaction-number order (read-only nodes may interleave
+    # anywhere their snapshot places them).
+    from repro.histories.mvsg import multiversion_serialization_graph
+    from repro.histories.recorder import RO_ID_OFFSET
+
+    graph = multiversion_serialization_graph(
+        driver.scheduler.history.committed_projection()
+    )
+    for u, v in graph.edges():
+        if 0 < u < RO_ID_OFFSET and 0 < v < RO_ID_OFFSET:
+            assert u < v, f"MVSG edge {u} -> {v} violates tn order"

@@ -1,0 +1,159 @@
+"""Tests for VC + optimistic concurrency control (paper refs [1, 2])."""
+
+import pytest
+
+from repro.errors import AbortReason, ValidationError
+from repro.histories import assert_one_copy_serializable
+from repro.protocols import VCOCCScheduler
+
+
+@pytest.fixture
+def db():
+    return VCOCCScheduler()
+
+
+class TestReadPhase:
+    def test_reads_never_block(self, db):
+        t1, t2 = db.begin(), db.begin()
+        db.write(t1, "x", 1).result()
+        assert db.read(t2, "x").done, "no locks: reads proceed immediately"
+
+    def test_reads_see_latest_committed(self, db):
+        w = db.begin()
+        db.write(w, "x", 1).result()
+        db.commit(w).result()
+        t = db.begin()
+        assert db.read(t, "x").result() == 1
+
+    def test_writes_staged_privately(self, db):
+        t = db.begin()
+        db.write(t, "x", 9).result()
+        assert db.store.object("x").latest().tn == 0
+
+    def test_read_own_write(self, db):
+        t = db.begin()
+        db.write(t, "x", 9).result()
+        assert db.read(t, "x").result() == 9
+
+
+class TestValidation:
+    def test_clean_commit_validates(self, db):
+        t = db.begin()
+        db.read(t, "x").result()
+        db.write(t, "y", 1).result()
+        assert db.commit(t).done
+        assert t.tn == 1
+
+    def test_stale_read_fails_validation(self, db):
+        t1 = db.begin()
+        db.read(t1, "x").result()       # reads version 0
+        t2 = db.begin()
+        db.write(t2, "x", 5).result()
+        db.commit(t2).result()          # installs version 1
+        f = db.commit(t1)
+        assert f.failed
+        with pytest.raises(ValidationError):
+            f.result()
+        assert t1.abort_reason is AbortReason.VALIDATION_FAILED
+
+    def test_blind_writers_both_commit(self, db):
+        t1, t2 = db.begin(), db.begin()
+        db.write(t1, "x", 1).result()
+        db.write(t2, "x", 2).result()
+        db.commit(t1).result()
+        db.commit(t2).result()
+        assert db.store.read_latest_committed("x").value == 2
+        assert_one_copy_serializable(db.history)
+
+    def test_validation_ignores_own_writes(self, db):
+        t = db.begin()
+        db.write(t, "x", 1).result()
+        db.read(t, "x").result()  # own write
+        assert db.commit(t).done
+
+    def test_first_committer_wins(self, db):
+        t1, t2 = db.begin(), db.begin()
+        db.read(t1, "x").result()
+        db.write(t1, "x", 1).result()
+        db.read(t2, "x").result()
+        db.write(t2, "x", 2).result()
+        assert db.commit(t1).done
+        assert db.commit(t2).failed
+        assert db.counters.get("abort.rw.validation_failed") == 1
+
+
+class TestVersionControlIntegration:
+    def test_tn_assigned_in_validation_order(self, db):
+        t1, t2 = db.begin(), db.begin()
+        db.write(t2, "a", 1).result()
+        db.write(t1, "b", 2).result()
+        db.commit(t2).result()
+        db.commit(t1).result()
+        assert t2.tn == 1 and t1.tn == 2
+
+    def test_vtnc_tracks_commits(self, db):
+        t = db.begin()
+        db.write(t, "x", 1).result()
+        db.commit(t).result()
+        assert db.vc.vtnc == 1
+
+    def test_aborted_validation_leaves_no_vc_trace(self, db):
+        t1, t2 = db.begin(), db.begin()
+        db.read(t1, "x").result()
+        db.write(t2, "x", 1).result()
+        db.commit(t2).result()
+        db.commit(t1)  # fails validation
+        assert db.vc.lag == 0
+        assert len(db.vc) == 0
+
+
+class TestReadOnlyIndependence:
+    def test_ro_needs_no_validation(self, db):
+        """The very overhead refs [1,2] set out to eliminate."""
+        w = db.begin()
+        db.write(w, "x", 1).result()
+        db.commit(w).result()
+        r = db.begin(read_only=True)
+        db.read(r, "x").result()
+        db.commit(r).result()
+        assert db.counters.get("cc.ro") == 0
+        assert db.counters.get("cc.ro.validate") == 0
+
+    def test_ro_snapshot_stable_across_concurrent_commits(self, db):
+        w0 = db.begin()
+        db.write(w0, "x", 1).result()
+        db.commit(w0).result()
+        r = db.begin(read_only=True)
+        w = db.begin()
+        db.write(w, "x", 2).result()
+        db.commit(w).result()
+        assert db.read(r, "x").result() == 1
+        db.commit(r).result()
+        assert_one_copy_serializable(db.history)
+
+    def test_ro_never_invalidates_writers(self, db):
+        r = db.begin(read_only=True)
+        db.read(r, "x").result()
+        w = db.begin()
+        db.write(w, "x", 2).result()
+        assert db.commit(w).done
+        db.commit(r).result()
+        assert db.counters.get("abort.rw") == 0
+
+
+class TestSerializabilityEndToEnd:
+    def test_contended_counter_increments_are_1sr(self, db):
+        db.store.preload({"c": 0})
+        committed = 0
+        for _ in range(10):
+            a, b = db.begin(), db.begin()
+            va = db.read(a, "c").result()
+            vb = db.read(b, "c").result()
+            db.write(a, "c", va + 1).result()
+            db.write(b, "c", vb + 1).result()
+            for txn in (a, b):
+                if not db.commit(txn).failed:
+                    committed += 1
+        final = db.store.read_latest_committed("c").value
+        assert final == committed, "no lost updates"
+        assert_one_copy_serializable(db.history)

@@ -1,0 +1,197 @@
+"""Scripted-interleaving tests for VC + timestamp ordering (paper Figure 3)."""
+
+import pytest
+
+from repro.errors import AbortReason, TransactionAborted
+from repro.histories import assert_one_copy_serializable
+from repro.protocols import VCTOScheduler
+
+
+@pytest.fixture
+def db():
+    return VCTOScheduler()
+
+
+class TestFigure3Trace:
+    def test_begin_registers_and_sets_sn_to_tn(self, db):
+        t = db.begin()
+        assert t.tn == 1
+        assert t.sn == 1
+        assert db.vc.is_registered(t)
+
+    def test_read_updates_object_rts(self, db):
+        t = db.begin()
+        db.read(t, "x").result()
+        assert db.store.object("x").max_r_ts == t.tn
+
+    def test_write_creates_pending_version(self, db):
+        t = db.begin()
+        db.write(t, "x", 5).result()
+        v = db.store.object("x").latest()
+        assert v.tn == t.tn
+        assert v.pending
+
+    def test_commit_clears_pending_and_completes(self, db):
+        t = db.begin()
+        db.write(t, "x", 5).result()
+        db.commit(t).result()
+        assert not db.store.object("x").latest().pending
+        assert db.vc.vtnc == t.tn
+
+    def test_late_write_after_read_rejected(self, db):
+        """Figure 3: IF r-ts(x) > tn(T) THEN abort(T)."""
+        t1 = db.begin()  # tn=1
+        t2 = db.begin()  # tn=2
+        db.read(t2, "x").result()  # r-ts(x) = 2
+        f = db.write(t1, "x", 9)
+        assert f.failed
+        with pytest.raises(TransactionAborted):
+            f.result()
+        assert t1.abort_reason is AbortReason.TIMESTAMP_REJECTED
+        assert not t1.abort_caused_by_readonly
+
+    def test_late_write_after_write_rejected(self, db):
+        """Figure 3: IF w-ts(x) > tn(T) THEN abort(T)."""
+        t1 = db.begin()
+        t2 = db.begin()
+        db.write(t2, "x", 2).result()  # w-ts(x) = 2
+        f = db.write(t1, "x", 1)
+        assert f.failed
+        assert t1.abort_reason is AbortReason.TIMESTAMP_REJECTED
+
+    def test_aborted_writer_discards_version_and_vcqueue_entry(self, db):
+        t1 = db.begin()
+        t2 = db.begin()
+        db.write(t2, "x", 2).result()
+        db.write(t1, "x", 1)  # rejected -> t1 aborted
+        assert db.store.object("x").find(t1.tn) is None
+        assert not db.vc.is_registered(t1)
+        db.commit(t2).result()
+        assert db.vc.vtnc == t2.tn, "vtnc jumps across the discarded number"
+
+
+class TestPendingWriteBlocking:
+    def test_read_blocks_on_older_pending_write(self, db):
+        t1 = db.begin()  # tn=1
+        t2 = db.begin()  # tn=2
+        db.write(t1, "x", 10).result()
+        f = db.read(t2, "x")
+        assert f.pending, "read waits for the older pending write"
+        db.commit(t1).result()
+        assert f.result() == 10
+
+    def test_read_unblocked_by_writer_abort_falls_back(self, db):
+        t1 = db.begin()
+        t2 = db.begin()
+        db.write(t1, "x", 10).result()
+        f = db.read(t2, "x")
+        db.abort(t1)
+        assert f.result() is None, "falls back to the initial version"
+
+    def test_write_blocks_behind_older_pending_write(self, db):
+        t1 = db.begin()
+        t2 = db.begin()
+        db.write(t1, "x", 1).result()
+        f = db.write(t2, "x", 2)
+        assert f.pending
+        db.commit(t1).result()
+        assert f.done
+        db.commit(t2).result()
+        assert db.store.read_latest_committed("x").value == 2
+
+    def test_read_own_pending_write(self, db):
+        t = db.begin()
+        db.write(t, "x", 3).result()
+        assert db.read(t, "x").result() == 3
+
+    def test_rewrite_own_version(self, db):
+        t = db.begin()
+        db.write(t, "x", 3).result()
+        db.write(t, "x", 4).result()
+        db.commit(t).result()
+        assert db.store.read_latest_committed("x").value == 4
+
+    def test_chain_of_blocked_readers(self, db):
+        t1 = db.begin()
+        readers = [db.begin() for _ in range(3)]
+        db.write(t1, "x", 1).result()
+        futures = [db.read(r, "x") for r in readers]
+        assert all(f.pending for f in futures)
+        db.commit(t1).result()
+        assert all(f.result() == 1 for f in futures)
+
+
+class TestDelayedVisibility:
+    def test_out_of_order_commit_delays_vtnc(self, db):
+        t1 = db.begin()  # tn=1
+        t2 = db.begin()  # tn=2
+        db.write(t2, "y", 2).result()
+        db.commit(t2).result()
+        assert db.vc.vtnc == 0, "t2's updates invisible while t1 active"
+        r = db.begin(read_only=True)
+        assert db.read(r, "y").result() is None
+        db.commit(t1).result()
+        assert db.vc.vtnc == 2
+        r2 = db.begin(read_only=True)
+        assert db.read(r2, "y").result() == 2
+
+    def test_ro_snapshot_never_hits_pending_version(self, db):
+        w = db.begin()
+        db.write(w, "x", 1).result()  # pending at tn=1
+        r = db.begin(read_only=True)
+        f = db.read(r, "x")
+        assert f.done, "read-only reads are never blocked"
+        assert f.result() is None
+
+
+class TestReadOnlyIndependence:
+    def test_ro_zero_cc_interactions(self, db):
+        w = db.begin()
+        db.write(w, "x", 1).result()
+        db.commit(w).result()
+        r = db.begin(read_only=True)
+        db.read(r, "x").result()
+        db.commit(r).result()
+        assert db.counters.get("cc.ro") == 0
+
+    def test_ro_reads_do_not_update_rts(self, db):
+        """The crucial difference from Reed's MVTO (paper Section 2)."""
+        w = db.begin()
+        db.write(w, "x", 1).result()
+        db.commit(w).result()
+        rts_before = db.store.object("x").max_r_ts
+        r = db.begin(read_only=True)
+        db.read(r, "x").result()
+        db.commit(r).result()
+        assert db.store.object("x").max_r_ts == rts_before
+
+    def test_ro_cannot_cause_rw_abort(self, db):
+        """A read-only read of x never forces a writer of x to abort."""
+        w0 = db.begin()
+        db.write(w0, "x", 0).result()
+        db.commit(w0).result()
+        old_writer = db.begin()  # tn=2
+        ro = db.begin(read_only=True)  # sn=1
+        db.read(ro, "x").result()
+        f = db.write(old_writer, "x", 5)
+        assert f.done, "the read-only reader is invisible to the writer"
+        db.commit(old_writer).result()
+        db.commit(ro).result()
+        assert db.counters.get("abort.rw.caused_by_readonly") == 0
+        assert_one_copy_serializable(db.history)
+
+
+class TestSerializabilityEndToEnd:
+    def test_interleaved_rw_and_ro_history_is_1sr(self, db):
+        t1 = db.begin()
+        t2 = db.begin()
+        r = db.begin(read_only=True)
+        db.write(t1, "a", 1).result()
+        db.read(t2, "a")           # blocks on t1's pending write
+        db.read(r, "a").result()   # snapshot read, never blocks
+        db.commit(t1).result()
+        db.write(t2, "b", 2).result()
+        db.commit(t2).result()
+        db.commit(r).result()
+        report = assert_one_copy_serializable(db.history)
+        assert report.serializable

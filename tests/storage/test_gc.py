@@ -1,0 +1,126 @@
+"""Tests for garbage collection (paper Section 6 rule)."""
+
+import pytest
+
+from repro.core.transaction import Transaction, TxnClass
+from repro.core.version_control import VersionControl
+from repro.errors import ProtocolError
+from repro.storage.gc import GarbageCollector, ReadOnlyRegistry
+from repro.storage.mvstore import MVStore
+
+
+def ro(sn):
+    t = Transaction(TxnClass.READ_ONLY)
+    t.sn = sn
+    return t
+
+
+class TestRegistry:
+    def test_register_and_min(self):
+        reg = ReadOnlyRegistry()
+        assert reg.min_active_sn() is None
+        reg.register(ro(5))
+        reg.register(ro(3))
+        assert reg.min_active_sn() == 3
+        assert reg.active_count() == 2
+
+    def test_shared_start_numbers_are_multiset(self):
+        reg = ReadOnlyRegistry()
+        a, b = ro(4), ro(4)
+        reg.register(a)
+        reg.register(b)
+        reg.deregister(a)
+        assert reg.min_active_sn() == 4
+        reg.deregister(b)
+        assert reg.min_active_sn() is None
+
+    def test_register_without_sn_rejected(self):
+        reg = ReadOnlyRegistry()
+        with pytest.raises(ProtocolError, match="no start number"):
+            reg.register(Transaction(TxnClass.READ_ONLY))
+
+    def test_deregister_unknown_rejected(self):
+        reg = ReadOnlyRegistry()
+        with pytest.raises(ProtocolError, match="not registered"):
+            reg.deregister(ro(1))
+
+
+class TestHorizon:
+    def build(self):
+        store = MVStore()
+        vc = VersionControl()
+        gc = GarbageCollector(store, vc)
+        return store, vc, gc
+
+    def complete_n(self, vc, n):
+        for _ in range(n):
+            t = Transaction()
+            vc.vc_register(t)
+            vc.vc_complete(t)
+
+    def test_horizon_is_vtnc_without_readers(self):
+        store, vc, gc = self.build()
+        self.complete_n(vc, 4)
+        assert gc.horizon() == 4
+
+    def test_horizon_lowered_by_old_reader(self):
+        store, vc, gc = self.build()
+        self.complete_n(vc, 4)
+        gc.registry.register(ro(2))
+        assert gc.horizon() == 2
+
+    def test_reader_above_vtnc_does_not_raise_horizon(self):
+        store, vc, gc = self.build()
+        self.complete_n(vc, 2)
+        gc.registry.register(ro(10))  # cannot happen in practice, but safe
+        assert gc.horizon() == 2
+
+
+class TestCollect:
+    def test_collect_discards_unreachable_versions(self):
+        store = MVStore()
+        vc = VersionControl()
+        gc = GarbageCollector(store, vc)
+        for tn in (1, 2, 3, 4):
+            t = Transaction()
+            vc.vc_register(t)
+            store.install("x", tn, tn)
+            vc.vc_complete(t)
+        # vtnc == 4 and no active readers: only version 4 remains reachable.
+        discarded = gc.collect()
+        assert discarded == 4
+        assert gc.total_discarded == 4
+        assert gc.passes == 1
+        assert store.read_snapshot("x", 4).value == 4
+
+    def test_active_reader_protects_its_snapshot(self):
+        store = MVStore()
+        vc = VersionControl()
+        gc = GarbageCollector(store, vc)
+        reader = None
+        for tn in (1, 2, 3):
+            t = Transaction()
+            vc.vc_register(t)
+            store.install("x", tn, tn)
+            vc.vc_complete(t)
+            if tn == 1:
+                reader = ro(vc.vc_start())  # sn = 1
+                gc.registry.register(reader)
+        gc.collect()
+        # Reader's snapshot (version 1) must survive; only v0 collectable.
+        assert store.read_snapshot("x", reader.sn).value == 1
+
+    def test_collect_never_discards_at_or_above_vtnc(self):
+        """Paper: never discard versions as young as or younger than vtnc."""
+        store = MVStore()
+        vc = VersionControl()
+        gc = GarbageCollector(store, vc)
+        t1, t2 = Transaction(), Transaction()
+        vc.vc_register(t1)
+        vc.vc_register(t2)
+        store.install("x", 1, "a")
+        store.install("x", 2, "b")
+        vc.vc_complete(t1)  # vtnc = 1; t2 still active
+        gc.collect()
+        assert store.read_snapshot("x", 1).value == "a"
+        assert store.read_snapshot("x", 2).value == "b"

@@ -1,0 +1,90 @@
+"""Tests for the eager and budgeted garbage-collection strategies."""
+
+import pytest
+
+from repro.core.transaction import Transaction
+from repro.core.version_control import VersionControl
+from repro.storage.gc_strategies import STRATEGIES, BudgetedCollector, EagerCollector
+from repro.storage.mvstore import MVStore
+
+
+def commit_version(store, vc, key, value):
+    txn = Transaction()
+    vc.vc_register(txn)
+    store.install(key, txn.tn, value)
+    vc.vc_complete(txn)
+    return txn.tn
+
+
+class TestEagerCollector:
+    def test_collects_automatically_on_advance(self):
+        store, vc = MVStore(), VersionControl()
+        gc = EagerCollector(store, vc, stride=1)
+        for i in range(5):
+            commit_version(store, vc, "x", i)
+        assert gc.passes >= 4, "each advance past the stride triggered a sweep"
+        assert len(store.object("x")) <= 2
+
+    def test_stride_batches_sweeps(self):
+        store, vc = MVStore(), VersionControl()
+        gc = EagerCollector(store, vc, stride=10)
+        for i in range(9):
+            commit_version(store, vc, "x", i)
+        assert gc.passes == 0
+        commit_version(store, vc, "x", 9)
+        assert gc.passes == 1
+
+    def test_invalid_stride_rejected(self):
+        with pytest.raises(ValueError):
+            EagerCollector(MVStore(), VersionControl(), stride=0)
+
+    def test_respects_active_reader_horizon(self):
+        store, vc = MVStore(), VersionControl()
+        gc = EagerCollector(store, vc, stride=1)
+        commit_version(store, vc, "x", "old")
+        reader = Transaction.__new__(Transaction)  # bare descriptor
+        reader.__init__()
+        reader.sn = vc.vc_start()
+        gc.registry.register(reader)
+        for i in range(5):
+            commit_version(store, vc, "x", i)
+        assert store.read_snapshot("x", reader.sn).value == "old"
+
+
+class TestBudgetedCollector:
+    def test_budget_bounds_per_pass_work(self):
+        store, vc = MVStore(), VersionControl()
+        gc = BudgetedCollector(store, vc, budget=2)
+        for k in range(6):
+            for i in range(3):
+                commit_version(store, vc, f"k{k}", i)
+        before = store.version_count()
+        gc.collect()
+        after_one = store.version_count()
+        assert before - after_one <= 2 * 3, "at most 2 objects pruned"
+        for _ in range(5):
+            gc.collect()
+        assert store.version_count() < after_one, "round-robin reaches the rest"
+
+    def test_cursor_wraps(self):
+        store, vc = MVStore(), VersionControl()
+        gc = BudgetedCollector(store, vc, budget=100)
+        for k in range(3):
+            commit_version(store, vc, f"k{k}", 1)
+        gc.collect()
+        assert gc._cursor == 0, "full cycle wraps the cursor"
+
+    def test_empty_store(self):
+        gc = BudgetedCollector(MVStore(), VersionControl(), budget=4)
+        assert gc.collect() == 0
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            BudgetedCollector(MVStore(), VersionControl(), budget=0)
+
+
+class TestRegistryOfStrategies:
+    def test_all_strategies_constructible(self):
+        for name, factory in STRATEGIES.items():
+            collector = factory(MVStore(), VersionControl())
+            assert collector.horizon() == 0, name

@@ -1,0 +1,90 @@
+"""Tests for the multiversion store facade."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.storage.mvstore import MVStore
+
+
+class TestObjects:
+    def test_objects_spring_into_existence(self):
+        store = MVStore()
+        assert "x" not in store
+        obj = store.object("x")
+        assert "x" in store
+        assert store.object("x") is obj
+        assert len(store) == 1
+
+    def test_preload(self):
+        store = MVStore()
+        store.preload({"a": 1, "b": 2})
+        assert store.read_snapshot("a", 0).value == 1
+        assert set(store.keys()) == {"a", "b"}
+
+    def test_preload_duplicate_rejected(self):
+        store = MVStore()
+        store.preload({"a": 1})
+        with pytest.raises(KeyError):
+            store.preload({"a": 2})
+
+    def test_custom_initial_value(self):
+        store = MVStore(initial_value=0)
+        assert store.read_snapshot("anything", 0).value == 0
+
+
+class TestReadsAndWrites:
+    def test_install_and_snapshot(self):
+        store = MVStore()
+        store.install("x", 1, "one")
+        store.install("x", 2, "two")
+        assert store.read_snapshot("x", 1).value == "one"
+        assert store.read_snapshot("x", 2).value == "two"
+
+    def test_latest_committed_ignores_pending(self):
+        store = MVStore()
+        store.install("x", 1, "one")
+        store.place_pending("x", 2, "two")
+        assert store.read_latest_committed("x").tn == 1
+        assert store.version_leq("x", 5).tn == 2
+
+    def test_pending_lifecycle(self):
+        store = MVStore()
+        store.place_pending("x", 1, "one", creator_txn_id=42)
+        assert store.version_leq("x", 1).creator_txn_id == 42
+        store.commit_pending("x", 1)
+        assert store.read_latest_committed("x").tn == 1
+
+    def test_discard_pending(self):
+        store = MVStore()
+        store.place_pending("x", 1, "gone")
+        store.discard_pending("x", 1)
+        assert store.read_latest_committed("x").tn == 0
+
+    def test_double_install_rejected(self):
+        store = MVStore()
+        store.install("x", 1, "a")
+        with pytest.raises(ProtocolError):
+            store.install("x", 1, "b")
+
+
+class TestMaintenance:
+    def test_version_count(self):
+        store = MVStore()
+        store.install("x", 1, "a")
+        store.install("y", 1, "b")
+        store.install("y", 2, "c")
+        assert store.version_count() == 5  # 2 initial + 3 installed
+
+    def test_prune_across_objects(self):
+        store = MVStore()
+        for tn in (1, 2, 3):
+            store.install("x", tn, tn)
+        store.install("y", 1, 1)
+        discarded = store.prune(2)
+        assert discarded == 3  # x loses v0,v1; y loses v0
+        assert store.gc_discarded == 3
+
+    def test_dump(self):
+        store = MVStore()
+        store.install("x", 1, "a")
+        assert store.dump() == {"x": [(0, None), (1, "a")]}

@@ -1,0 +1,171 @@
+"""Randomized direct-interleaving driver.
+
+Unlike the simulator (which interleaves at operation-service granularity
+under a virtual clock), this driver interleaves *scheduler calls* directly
+and adversarially: at every step it picks a random live transaction and a
+random legal action, including beginning new transactions while others are
+blocked mid-operation.  It explores interleavings the closed-loop simulator
+rarely produces — e.g. many writers queued on one lock with readers arriving
+between grants — and it keeps every transaction descriptor so tests can
+check the paper's lemmas against ground truth.
+
+Respecting the Section 3 transaction model: at most one read and one write
+per (transaction, key), reads precede writes on the same key.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.futures import OpFuture
+from repro.core.interface import Scheduler
+from repro.core.transaction import Transaction
+
+
+class _Client:
+    __slots__ = ("txn", "future", "reads", "writes", "ops_budget")
+
+    def __init__(self, txn: Transaction, ops_budget: int):
+        self.txn = txn
+        self.future: OpFuture | None = None
+        self.reads: set[str] = set()
+        self.writes: set[str] = set()
+        self.ops_budget = ops_budget
+
+    @property
+    def waiting(self) -> bool:
+        return self.future is not None and self.future.pending
+
+
+class RandomDriver:
+    """Adversarial random interleaver over one scheduler."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        seed: int,
+        n_keys: int = 8,
+        max_active: int = 6,
+        ro_fraction: float = 0.3,
+    ):
+        self.scheduler = scheduler
+        self.rng = random.Random(seed)
+        self.keys = [f"k{i}" for i in range(n_keys)]
+        self.max_active = max_active
+        self.ro_fraction = ro_fraction
+        self.active: list[_Client] = []
+        #: Every transaction ever begun, with its final descriptor state.
+        self.all_txns: list[Transaction] = []
+
+    # -- actions -----------------------------------------------------------------
+
+    def _begin(self) -> None:
+        read_only = self.rng.random() < self.ro_fraction
+        txn = self.scheduler.begin(read_only=read_only)
+        self.all_txns.append(txn)
+        self.active.append(_Client(txn, ops_budget=self.rng.randint(1, 6)))
+
+    def _retire(self, client: _Client) -> None:
+        self.active.remove(client)
+
+    def _handle_future(self, client: _Client) -> None:
+        """Absorb the outcome of the client's last operation."""
+        future = client.future
+        if future is None or future.pending:
+            return
+        client.future = None
+        if future.failed:
+            # Protocol abort (deadlock victim, timestamp rejection,
+            # validation failure): the client gives up.
+            self.scheduler.abort(client.txn)
+            self._retire(client)
+
+    def _issue(self, client: _Client) -> None:
+        txn = client.txn
+        finish = client.ops_budget <= 0 or self.rng.random() < 0.2
+        if finish:
+            client.future = self.scheduler.commit(txn)
+            self._handle_future(client)
+            if client in self.active and client.future is None:
+                self._retire(client)
+            return
+        client.ops_budget -= 1
+        if txn.is_read_only:
+            candidates = [k for k in self.keys if k not in client.reads]
+            if not candidates:
+                client.future = self.scheduler.commit(txn)
+                self._handle_future(client)
+                if client in self.active and client.future is None:
+                    self._retire(client)
+                return
+            key = self.rng.choice(candidates)
+            client.reads.add(key)
+            client.future = self.scheduler.read(txn, key)
+        else:
+            do_write = self.rng.random() < 0.5
+            if do_write:
+                candidates = [k for k in self.keys if k not in client.writes]
+            else:
+                # Reads may not follow the transaction's own write (model).
+                candidates = [
+                    k
+                    for k in self.keys
+                    if k not in client.reads and k not in client.writes
+                ]
+            if not candidates:
+                client.future = self.scheduler.commit(txn)
+            elif do_write:
+                key = self.rng.choice(candidates)
+                client.writes.add(key)
+                client.future = self.scheduler.write(txn, key, self.rng.random())
+            else:
+                key = self.rng.choice(candidates)
+                client.reads.add(key)
+                client.future = self.scheduler.read(txn, key)
+        self._handle_future(client)
+        if (
+            client in self.active
+            and client.future is None
+            and client.txn.is_finished
+        ):
+            self._retire(client)
+
+    # -- main loop ------------------------------------------------------------------
+
+    def step(self) -> None:
+        # Absorb any futures resolved by other transactions' progress.
+        for client in list(self.active):
+            self._handle_future(client)
+            if client.txn.is_finished and client in self.active:
+                self._retire(client)
+        runnable = [c for c in self.active if not c.waiting]
+        can_begin = len(self.active) < self.max_active
+        if can_begin and (not runnable or self.rng.random() < 0.35):
+            self._begin()
+            return
+        if runnable:
+            self._issue(self.rng.choice(runnable))
+
+    def drain(self, limit: int = 10_000) -> None:
+        """Finish every remaining transaction."""
+        for _ in range(limit):
+            for client in list(self.active):
+                self._handle_future(client)
+                if client.txn.is_finished and client in self.active:
+                    self._retire(client)
+            if not self.active:
+                return
+            runnable = [c for c in self.active if not c.waiting]
+            if runnable:
+                self._issue(self.rng.choice(runnable))
+            else:
+                # Everyone is blocked: break the jam by aborting one waiter.
+                victim = self.rng.choice(self.active)
+                self.scheduler.abort(victim.txn)
+                self._retire(victim)
+        raise AssertionError("drain did not converge")  # pragma: no cover
+
+    def run(self, steps: int = 300) -> None:
+        for _ in range(steps):
+            self.step()
+        self.drain()

@@ -1,0 +1,45 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_help(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "Commands" in out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "vc-2pl" in out
+        assert "mvto-reed" in out
+
+    def test_demo_default(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "history 1SR: True" in out
+        assert "read-only CC ops: 0" in out
+
+    @pytest.mark.parametrize("protocol", ["vc-to", "vc-occ", "mvto-reed"])
+    def test_demo_other_protocols(self, protocol, capsys):
+        assert main(["demo", protocol]) == 0
+        assert "history 1SR: True" in capsys.readouterr().out
+
+    def test_selfcheck(self, capsys):
+        assert main(["selfcheck", "vc-to"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_report_single_experiment(self, capsys):
+        assert main(["report", "EXP-J"]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-J" in out
+        assert "dvc-2pl" in out
+
+    def test_report_unknown_id(self, capsys):
+        assert main(["report", "EXP-Z"]) == 2
+
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 2

@@ -1,0 +1,75 @@
+"""Tests for the error taxonomy."""
+
+import pytest
+
+from repro.errors import (
+    AbortReason,
+    DeadlockError,
+    FutureNotReady,
+    InvariantViolation,
+    ProtocolError,
+    ReproError,
+    TransactionAborted,
+    ValidationError,
+    VersionNotFound,
+)
+
+
+class TestHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for cls in (
+            TransactionAborted,
+            DeadlockError,
+            ValidationError,
+            VersionNotFound,
+            ProtocolError,
+            FutureNotReady,
+            InvariantViolation,
+        ):
+            assert issubclass(cls, ReproError)
+
+    def test_deadlock_and_validation_are_aborts(self):
+        assert issubclass(DeadlockError, TransactionAborted)
+        assert issubclass(ValidationError, TransactionAborted)
+        # ...so one except-clause catches every protocol-initiated abort.
+        with pytest.raises(TransactionAborted):
+            raise DeadlockError(5, (1, 2, 1))
+
+
+class TestTransactionAborted:
+    def test_message_includes_reason(self):
+        err = TransactionAborted(3, AbortReason.TIMESTAMP_REJECTED)
+        assert "transaction 3" in str(err)
+        assert "timestamp_rejected" in str(err)
+
+    def test_detail_appended(self):
+        err = TransactionAborted(3, AbortReason.USER_REQUESTED, detail="why")
+        assert str(err).endswith("why")
+
+    def test_caused_by_readonly_flag(self):
+        err = TransactionAborted(
+            3, AbortReason.TIMESTAMP_REJECTED, caused_by_readonly=True
+        )
+        assert err.caused_by_readonly
+
+
+class TestSpecificErrors:
+    def test_deadlock_carries_cycle(self):
+        err = DeadlockError(2, cycle=(1, 2, 1))
+        assert err.cycle == (1, 2, 1)
+        assert err.reason is AbortReason.DEADLOCK_VICTIM
+
+    def test_validation_carries_conflict(self):
+        err = ValidationError(4, conflicting_txn=9)
+        assert err.conflicting_txn == 9
+        assert err.reason is AbortReason.VALIDATION_FAILED
+
+    def test_version_not_found_carries_key_and_bound(self):
+        err = VersionNotFound("x", 7)
+        assert err.key == "x"
+        assert err.bound == 7
+        assert "<= 7" in str(err)
+
+    def test_abort_reason_values_unique(self):
+        values = [reason.value for reason in AbortReason]
+        assert len(values) == len(set(values))

@@ -1,0 +1,54 @@
+"""Soak tests: long closed-loop runs with everything turned on.
+
+One order of magnitude beyond the regular test durations, with garbage
+collection and failure injection active simultaneously — the configuration
+most likely to surface interaction bugs between the subsystems.
+"""
+
+import pytest
+
+from repro.bench.runner import SimConfig, run_simulation
+from repro.protocols.registry import VC_PROTOCOLS, make_scheduler
+from repro.workload.mixes import balanced
+
+SOAK = SimConfig(
+    duration=2_500.0,
+    n_clients=10,
+    gc_period=40.0,
+    user_abort_probability=0.03,
+)
+
+
+@pytest.mark.parametrize("name", VC_PROTOCOLS)
+def test_soak_vc_protocols(name):
+    scheduler = make_scheduler(name)
+    metrics = run_simulation(scheduler, balanced(seed=99, ro_fraction=0.4), SOAK)
+    assert metrics.commits > 1_500, "meaningful volume"
+    assert metrics.serializable is True
+    assert metrics.gc_discarded > 100, "collector actually worked"
+    assert metrics.aborts_ro == 0
+    assert metrics.counter("cc.ro") == 0
+    assert scheduler.vc.lag == 0, "everything drained"
+
+
+def test_soak_adaptive_with_everything_on():
+    scheduler = make_scheduler("vc-adaptive")
+    metrics = run_simulation(scheduler, balanced(seed=7, zipf_theta=1.1), SOAK)
+    assert metrics.serializable is True
+    assert metrics.commits > 1_500
+
+
+def test_soak_recoverable_with_periodic_checkpoints():
+    """Run, checkpoint, crash, recover, run again — three generations."""
+    scheduler = make_scheduler("vc-2pl-wal")
+    total_commits = 0
+    config = SimConfig(duration=600.0, n_clients=8, gc_period=50.0)
+    for generation in range(3):
+        metrics = run_simulation(scheduler, balanced(seed=generation), config)
+        assert metrics.serializable is True
+        total_commits += metrics.commits
+        scheduler.checkpoint()
+        scheduler.crash()
+        scheduler = scheduler.recovered()
+    assert total_commits > 1_000
+    assert len(scheduler.log) == 1, "log bounded by checkpoints"

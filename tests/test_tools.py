@@ -1,0 +1,100 @@
+"""Tests for the introspection tools."""
+
+from repro.histories import History, check_one_copy_serializable
+from repro.protocols import VC2PLScheduler, VCTOScheduler
+from repro.tools import describe_vc, dump_version_chains, mvsg_dot, timeline
+
+
+def build_run():
+    db = VC2PLScheduler()
+    w = db.begin()
+    db.write(w, "x", 1).result()
+    db.commit(w).result()
+    ro = db.begin(read_only=True)
+    db.read(ro, "x").result()
+    db.commit(ro).result()
+    return db
+
+
+class TestMVSGDot:
+    def test_renders_nodes_and_edges(self):
+        db = build_run()
+        dot = mvsg_dot(db.history)
+        assert dot.startswith("digraph MVSG")
+        assert '"T1"' in dot
+        assert '"RO#' in dot
+        assert "->" in dot
+
+    def test_initial_txn_is_diamond(self):
+        history = History.parse("r1[x_0] c1")
+        dot = mvsg_dot(history)
+        assert '"T0 (init)" [shape=diamond];' in dot
+
+    def test_cycle_highlighting(self):
+        history = History.parse("r1[x_0] r2[y_0] w1[y_1] w2[x_2] c1 c2")
+        report = check_one_copy_serializable(history)
+        assert not report.serializable
+        dot = mvsg_dot(history, highlight_cycle=report.cycle)
+        assert "color=red" in dot
+
+    def test_valid_graphviz_structure(self):
+        dot = mvsg_dot(build_run().history)
+        assert dot.count("{") == dot.count("}") == 1
+
+
+class TestTimeline:
+    def test_rows_per_transaction(self):
+        db = build_run()
+        text = timeline(db.recorder.live)
+        lines = text.splitlines()
+        assert lines[0].startswith("txn")
+        assert any(line.startswith("T") for line in lines[1:])
+        assert "C" in text
+
+    def test_read_write_cells(self):
+        db = VCTOScheduler()
+        t = db.begin()
+        db.write(t, "k", 1).result()
+        db.commit(t).result()
+        text = timeline(db.recorder.live)
+        assert "w·k" in text
+
+    def test_truncation_notice(self):
+        db = VCTOScheduler()
+        for i in range(30):
+            t = db.begin()
+            db.write(t, f"k{i}", i).result()
+            db.commit(t).result()
+        text = timeline(db.recorder.live, max_events=5)
+        assert "more events" in text
+
+
+class TestDumps:
+    def test_version_chain_dump(self):
+        db = build_run()
+        text = dump_version_chains(db.store)
+        assert "x: 0=None -> 1=1" in text
+
+    def test_pending_flagged(self):
+        db = VCTOScheduler()
+        t = db.begin()
+        db.write(t, "x", 9).result()
+        text = dump_version_chains(db.store)
+        assert "1*=9" in text
+        db.commit(t).result()
+
+    def test_empty_store(self):
+        from repro.storage.mvstore import MVStore
+
+        assert dump_version_chains(MVStore()) == "(empty store)"
+
+    def test_describe_vc(self):
+        db = VCTOScheduler()
+        t1 = db.begin()
+        t2 = db.begin()
+        db.commit(t2).result()
+        text = describe_vc(db.vc)
+        assert "tnc=3" in text
+        assert "vtnc=0" in text
+        assert "done" in text
+        db.commit(t1).result()

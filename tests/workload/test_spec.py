@@ -1,0 +1,118 @@
+"""Tests for workload specification and generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload import MIXES, WorkloadGenerator, WorkloadSpec, balanced
+
+
+class TestSpecValidation:
+    def test_defaults_valid(self):
+        WorkloadSpec()
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(ro_fraction=1.5)
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(rw_ops=(5, 2))
+        with pytest.raises(ValueError):
+            WorkloadSpec(ro_ops=(0, 2))
+
+    def test_bad_object_count_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(n_objects=0)
+
+
+class TestGeneration:
+    def test_deterministic_under_seed(self):
+        spec = balanced(seed=5)
+        a = [t for t in WorkloadGenerator(spec).transactions(50)]
+        b = [t for t in WorkloadGenerator(spec).transactions(50)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = list(WorkloadGenerator(balanced(seed=1)).transactions(50))
+        b = list(WorkloadGenerator(balanced(seed=2)).transactions(50))
+        assert a != b
+
+    def test_read_only_txns_have_only_reads(self):
+        gen = WorkloadGenerator(WorkloadSpec(ro_fraction=1.0, seed=3))
+        for txn in gen.transactions(30):
+            assert txn.read_only
+            assert txn.writes == 0
+            assert txn.reads >= 1
+
+    def test_read_write_txns_have_at_least_one_write(self):
+        """The paper's class definition: RW txns execute >= 1 write."""
+        gen = WorkloadGenerator(
+            WorkloadSpec(ro_fraction=0.0, write_fraction=0.05, seed=3)
+        )
+        for txn in gen.transactions(100):
+            assert not txn.read_only
+            assert txn.writes >= 1
+
+    def test_keys_distinct_within_txn(self):
+        """Section 3 model: at most one read and one write per object."""
+        gen = WorkloadGenerator(WorkloadSpec(n_objects=5, rw_ops=(4, 5), seed=3))
+        for txn in gen.transactions(50):
+            keys = [op.key for op in txn.ops]
+            assert len(keys) == len(set(keys))
+
+    def test_keys_within_database(self):
+        gen = WorkloadGenerator(WorkloadSpec(n_objects=7, seed=1))
+        for txn in gen.transactions(50):
+            for op in txn.ops:
+                assert 0 <= int(op.key[1:]) < 7
+
+    def test_zipf_skew_concentrates_keys(self):
+        hot = WorkloadGenerator(WorkloadSpec(n_objects=100, zipf_theta=1.2, seed=1))
+        cold = WorkloadGenerator(WorkloadSpec(n_objects=100, zipf_theta=0.0, seed=1))
+
+        def head_share(gen):
+            touches = [
+                int(op.key[1:]) for txn in gen.transactions(200) for op in txn.ops
+            ]
+            return sum(1 for k in touches if k < 10) / len(touches)
+
+        assert head_share(hot) > head_share(cold) + 0.2
+
+    def test_ro_fraction_respected(self):
+        gen = WorkloadGenerator(WorkloadSpec(ro_fraction=0.7, seed=4))
+        txns = list(gen.transactions(500))
+        share = sum(1 for t in txns if t.read_only) / len(txns)
+        assert 0.6 < share < 0.8
+
+
+class TestMixes:
+    def test_all_presets_constructible(self):
+        for name, factory in MIXES.items():
+            spec = factory(seed=1)
+            txns = list(WorkloadGenerator(spec).transactions(10))
+            assert len(txns) == 10, name
+
+    def test_overrides_apply(self):
+        spec = balanced(seed=1, ro_fraction=0.9)
+        assert spec.ro_fraction == 0.9
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ro_fraction=st.floats(0.0, 1.0),
+    theta=st.floats(0.0, 1.5),
+    n_objects=st.integers(1, 50),
+)
+def test_property_generated_txns_always_well_formed(ro_fraction, theta, n_objects):
+    spec = WorkloadSpec(
+        n_objects=n_objects, ro_fraction=ro_fraction, zipf_theta=theta, seed=9
+    )
+    for txn in WorkloadGenerator(spec).transactions(20):
+        assert len(txn.ops) >= 1
+        keys = [op.key for op in txn.ops]
+        assert len(keys) == len(set(keys))
+        if txn.read_only:
+            assert txn.writes == 0
+        else:
+            assert txn.writes >= 1
