@@ -6,9 +6,23 @@ transactions, snapshot-isolated read-only readers, delayed visibility, the
 Section 6 remedies, and the built-in serializability oracle.
 
 Run:  python examples/quickstart.py
+
+Set ``REPRO_TRACE=/path/to/trace.jsonl`` to choose where the section-6
+tracing demo writes its JSONL trace (default: alongside the system temp
+directory); inspect it afterwards with ``python -m repro trace <path>``.
 """
 
-from repro import SnapshotManager, VC2PLScheduler, assert_one_copy_serializable
+import os
+import tempfile
+
+from repro import (
+    JsonlExporter,
+    SnapshotManager,
+    Tracer,
+    VC2PLScheduler,
+    assert_one_copy_serializable,
+    attach_tracer,
+)
 
 
 def main() -> None:
@@ -67,6 +81,29 @@ def main() -> None:
     print("\n== serializability oracle ==")
     print(f"checked {report.transactions} committed transactions: one-copy serializable")
     print(f"witness serial order: {report.witness_order}")
+
+    # -- 6. Tracing (repro.obs): record a run, inspect it from the CLI -------------
+    print("\n== tracing ==")
+    trace_path = os.environ.get("REPRO_TRACE") or os.path.join(
+        tempfile.gettempdir(), "repro_quickstart_trace.jsonl"
+    )
+    traced_db = VC2PLScheduler()
+    tracer = Tracer(exporters=[JsonlExporter(trace_path)])
+    instrumentation = attach_tracer(traced_db, tracer)
+    blocker = traced_db.begin()                       # holds X(x) across a reader
+    traced_db.write(blocker, "x", 1).result()
+    waiter = traced_db.begin()
+    pending = traced_db.read(waiter, "x")             # blocks behind the X lock
+    traced_db.commit(blocker).result()                # unblocks; visibility advances
+    pending.result()
+    traced_db.commit(waiter).result()
+    audit = traced_db.begin(read_only=True)
+    traced_db.read(audit, "x").result()
+    traced_db.commit(audit).result()
+    instrumentation.detach()
+    tracer.close()
+    print(f"wrote JSONL trace to {trace_path}")
+    print(f"inspect it with:  python -m repro trace {trace_path}")
 
 
 if __name__ == "__main__":

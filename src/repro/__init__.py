@@ -47,6 +47,15 @@ from repro.histories import (
     check_one_copy_serializable,
     is_one_copy_serializable,
 )
+from repro.obs import (
+    NULL_TRACER,
+    ConsoleSummaryExporter,
+    JsonlExporter,
+    MetricsRegistry,
+    RingBufferExporter,
+    Tracer,
+    attach_tracer,
+)
 from repro.protocols import (
     AdaptiveVCScheduler,
     RecoverableVC2PLScheduler,
@@ -61,13 +70,19 @@ __version__ = "1.0.0"
 __all__ = [
     "AbortReason",
     "AdaptiveVCScheduler",
+    "ConsoleSummaryExporter",
     "Database",
     "RecoverableVC2PLScheduler",
     "DeadlockError",
     "GarbageCollector",
     "History",
+    "JsonlExporter",
     "MVStore",
+    "MetricsRegistry",
+    "NULL_TRACER",
     "OpFuture",
+    "RingBufferExporter",
+    "Tracer",
     "ProtocolError",
     "ReproError",
     "SN_INFINITY",
@@ -87,6 +102,7 @@ __all__ = [
     "VersionNotFound",
     "__version__",
     "assert_one_copy_serializable",
+    "attach_tracer",
     "check_one_copy_serializable",
     "is_one_copy_serializable",
 ]

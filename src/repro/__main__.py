@@ -8,7 +8,10 @@ Commands:
 * ``report [EXP-A ...]`` — regenerate experiment/ablation tables
   (delegates to :mod:`repro.bench.report`);
 * ``selfcheck [protocol]`` — run a randomized workload through a protocol
-  and verify one-copy serializability plus the read-only guarantees.
+  and verify one-copy serializability plus the read-only guarantees;
+* ``trace <file.jsonl>`` — analyze a JSONL trace written by
+  :class:`repro.obs.JsonlExporter`: per-transaction timelines, blocking
+  chains, visibility-lag trajectory (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -72,6 +75,12 @@ def cmd_report(args: list[str]) -> int:
     return report_main(args)
 
 
+def cmd_trace(args: list[str]) -> int:
+    from repro.obs.analyze import main as trace_main
+
+    return trace_main(args)
+
+
 def cmd_selfcheck(protocol: str = "vc-2pl") -> int:
     from repro.bench.runner import SimConfig, run_simulation
     from repro.protocols.registry import make_scheduler
@@ -105,7 +114,9 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_report(rest)
     if command == "selfcheck":
         return cmd_selfcheck(*rest[:1])
-    print(f"unknown command {command!r}; try: list, demo, report, selfcheck")
+    if command == "trace":
+        return cmd_trace(rest)
+    print(f"unknown command {command!r}; try: list, demo, report, selfcheck, trace")
     return 2
 
 

@@ -20,6 +20,8 @@ from repro.core.interface import Scheduler
 from repro.core.vc_scheduler import VersionControlledScheduler
 from repro.errors import TransactionAborted, VersionNotFound
 from repro.histories.checker import check_one_copy_serializable
+from repro.obs.instrument import attach_tracer
+from repro.obs.tracer import Tracer
 from repro.sim.engine import Simulator
 from repro.sim.stats import TimeWeighted
 from repro.workload.spec import TxnSpec, WorkloadGenerator, WorkloadSpec
@@ -47,19 +49,45 @@ def run_simulation(
     scheduler: Scheduler,
     workload: WorkloadSpec,
     config: SimConfig | None = None,
+    tracer: Tracer | None = None,
 ) -> RunMetrics:
-    """Execute one closed-loop run and return its metrics."""
+    """Execute one closed-loop run and return its metrics.
+
+    When ``tracer`` is given it is bound to the simulator's virtual clock
+    and attached across the scheduler's components for the duration of the
+    run (and detached afterward), so every exported event carries a
+    virtual-time stamp from this run only.
+    """
     config = config or SimConfig()
-    sim = Simulator()
+    instrumentation = None
+    if tracer is not None and tracer.enabled:
+        sim = Simulator(tracer=tracer)
+        tracer.clock = lambda: sim.now
+        instrumentation = attach_tracer(scheduler, tracer)
+    else:
+        sim = Simulator()
     generator = WorkloadGenerator(workload)
     think_rng = generator.streams.stream("think")
     metrics = RunMetrics(protocol=scheduler.name)
+    registry = scheduler.counters.registry
+    latency_hist = {
+        True: registry.histogram("latency.ro"),
+        False: registry.histogram("latency.rw"),
+    }
+    lag_gauge = None
+    lag_observer = None
 
     # Track version-control lag over virtual time for VC schedulers.
     if isinstance(scheduler, VersionControlledScheduler):
         lag = TimeWeighted(0.0, 0.0)
         metrics.vc_lag = lag
-        scheduler.vc.subscribe(lambda _ev, _n: lag.update(sim.now, scheduler.vc.lag))
+        lag_gauge = registry.gauge("vc.lag")
+
+        def lag_observer(_event: str, _number: int) -> None:
+            lag.update(sim.now, scheduler.vc.lag)
+            lag_gauge.set(scheduler.vc.lag)
+
+        scheduler.vc.subscribe(lag_observer)
 
     def client(client_id: int):
         while sim.now < config.duration:
@@ -105,6 +133,7 @@ def run_simulation(
                     continue
                 return
             latency = sim.now - start
+            latency_hist[spec.read_only].record(latency)
             if spec.read_only:
                 metrics.commits_ro += 1
                 metrics.latency_ro.add(latency)
@@ -124,7 +153,15 @@ def run_simulation(
     if config.gc_period > 0 and isinstance(scheduler, VersionControlledScheduler):
         sim.spawn(collector(), name="gc")
 
-    sim.run()
+    try:
+        sim.run()
+    finally:
+        # Run teardown: a long-lived scheduler must not keep notifying this
+        # run's collectors (or a closed trace exporter) after the run ends.
+        if lag_observer is not None:
+            scheduler.vc.unsubscribe(lag_observer)
+        if instrumentation is not None:
+            instrumentation.detach()
     metrics.duration = sim.now if sim.now > 0 else config.duration
 
     # Post-run bookkeeping.

@@ -26,6 +26,7 @@ from collections import defaultdict
 from typing import Callable
 
 from repro.histories.graphs import Digraph
+from repro.obs.tracer import NULL_TRACER
 
 VictimPolicy = str  # "requester" | "youngest" | "oldest"
 
@@ -38,6 +39,12 @@ class WaitsForGraph:
     def __init__(self) -> None:
         self._count: dict[tuple[int, int], int] = defaultdict(int)
         self._succ: dict[int, set[int]] = defaultdict(set)
+        #: Structured-event tracer (deadlock.detect on every found cycle).
+        #: One graph may serve several lock managers (distributed sites), so
+        #: the graph carries its own tracer rather than borrowing a manager's.
+        self.tracer = NULL_TRACER
+        #: Cycle-detection passes run (cost proxy for continuous detection).
+        self.detections = 0
 
     def add(self, waiter: int, holder: int) -> None:
         if waiter == holder:
@@ -75,10 +82,16 @@ class WaitsForGraph:
 
     def find_cycle(self) -> list[int] | None:
         """A cycle ``[v0, ..., v0]`` if one exists, else None."""
+        self.detections += 1
         graph = Digraph()
         for (waiter, holder) in self._count:
             graph.add_edge(waiter, holder)
-        return graph.find_cycle()
+        cycle = graph.find_cycle()
+        if cycle is not None and self.tracer.enabled:
+            self.tracer.emit(
+                "deadlock.detect", cycle=list(cycle), edges=len(self._count)
+            )
+        return cycle
 
 
 def choose_victim(

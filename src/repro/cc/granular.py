@@ -35,6 +35,7 @@ from typing import Callable, Hashable
 from repro.cc.deadlock import VictimPolicy, WaitsForGraph, choose_victim
 from repro.core.futures import OpFuture
 from repro.errors import DeadlockError, ProtocolError
+from repro.obs.tracer import NULL_TRACER
 
 Path = tuple[Hashable, ...]
 
@@ -157,6 +158,8 @@ class GranularLockManager:
         self.blocks = 0
         #: Total grants, a cost proxy (the granularity win shows up here).
         self.grants = 0
+        #: Structured-event tracer; NULL_TRACER unless attach_tracer() wired one.
+        self.tracer = NULL_TRACER
 
     # -- introspection --------------------------------------------------------
 
@@ -241,6 +244,14 @@ class GranularLockManager:
             node.queue.append(request)
         self._pending[txn_id] = path
         self._add_edges(node, request)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "lock.block",
+                txn=txn_id,
+                key=path,
+                mode=request.mode.value,
+                holders=[h for h in node.granted if h != txn_id],
+            )
         if self._on_block is not None:
             self._on_block(txn_id, path)
         self._detect(txn_id)
@@ -259,6 +270,10 @@ class GranularLockManager:
         node.granted[request.txn_id] = request.mode
         self._held.setdefault(request.txn_id, {})[path] = request.mode
         self.grants += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "lock.grant", txn=request.txn_id, key=path, mode=request.mode.value
+            )
 
     def _add_edges(self, node: _Node, request: _Request) -> None:
         for holder, mode in node.granted.items():
@@ -331,6 +346,13 @@ class GranularLockManager:
             return
         victim = choose_victim(cycle, self.victim_policy, requester)
         self.deadlocks += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "lock.deadlock",
+                victim=victim,
+                cycle=list(cycle),
+                policy=self.victim_policy,
+            )
         if self._on_deadlock is not None:
             self._on_deadlock(victim, cycle)
         path = self._pending.pop(victim, None)

@@ -28,6 +28,7 @@ from repro.cc.deadlock import VictimPolicy, WaitsForGraph, choose_victim
 from repro.cc.locks import LockMode, compatible
 from repro.core.futures import OpFuture
 from repro.errors import DeadlockError, ProtocolError
+from repro.obs.tracer import NULL_TRACER
 
 
 class _Request:
@@ -84,6 +85,9 @@ class LockManager:
         self.victim_policy = victim_policy
         self._on_block = on_block
         self._on_deadlock = on_deadlock
+        #: Structured-event tracer (lock.grant / lock.block / lock.release /
+        #: lock.deadlock); NULL_TRACER unless attach_tracer() wired one.
+        self.tracer = NULL_TRACER
         #: Total deadlocks resolved.
         self.deadlocks = 0
         #: Total requests that had to wait.
@@ -148,6 +152,15 @@ class LockManager:
             state.queue.append(request)
         self._pending_key[txn_id] = key
         self._add_wait_edges(state, request)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "lock.block",
+                txn=txn_id,
+                key=key,
+                mode=mode.value,
+                upgrade=upgrade,
+                holders=[h for h in state.granted if h != txn_id],
+            )
         if self._on_block is not None:
             self._on_block(txn_id, key)
         self._detect(requester=txn_id)
@@ -165,9 +178,19 @@ class LockManager:
             if holder != request.txn_id
         )
 
-    def _grant(self, state: _LockState, request: _Request, key: Hashable) -> None:
+    def _grant(
+        self, state: _LockState, request: _Request, key: Hashable, waited: bool = False
+    ) -> None:
         state.granted[request.txn_id] = request.mode
         self._held_keys.setdefault(request.txn_id, set()).add(key)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "lock.grant",
+                txn=request.txn_id,
+                key=key,
+                mode=request.mode.value,
+                waited=waited,
+            )
         request.future.resolve(None)
 
     def _add_wait_edges(self, state: _LockState, request: _Request) -> None:
@@ -189,6 +212,8 @@ class LockManager:
         """Release every lock of ``txn_id`` and cancel its pending request."""
         self._cancel_pending(txn_id)
         keys = self._held_keys.pop(txn_id, set())
+        if self.tracer.enabled and keys:
+            self.tracer.emit("lock.release", txn=txn_id, keys=sorted(keys, key=repr))
         for key in keys:
             state = self._table[key]
             state.granted.pop(txn_id, None)
@@ -214,7 +239,7 @@ class LockManager:
                 state.queue.pop(0)
                 self._pending_key.pop(head.txn_id, None)
                 self.waits_for.remove_waiter(head.txn_id)
-                self._grant(state, head, key)
+                self._grant(state, head, key, waited=True)
                 granted_any = True
         self._refresh_wait_edges(state)
 
@@ -250,6 +275,13 @@ class LockManager:
             return
         victim = choose_victim(cycle, self.victim_policy, requester)
         self.deadlocks += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "lock.deadlock",
+                victim=victim,
+                cycle=list(cycle),
+                policy=self.victim_policy,
+            )
         if self._on_deadlock is not None:
             self._on_deadlock(victim, cycle)
         key = self._pending_key.pop(victim, None)

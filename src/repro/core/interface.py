@@ -22,37 +22,52 @@ therefore counts, uniformly:
 from __future__ import annotations
 
 import abc
-from collections import Counter
 from typing import Any, Hashable
 
 from repro.core.futures import OpFuture
 from repro.core.transaction import Transaction, TxnClass
 from repro.errors import AbortReason
 from repro.histories.recorder import HistoryRecorder
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 class SchedulerCounters:
     """Uniform event counters kept by every scheduler.
 
-    A thin wrapper over :class:`collections.Counter` with helper methods for
-    the events every experiment aggregates.  Protocol-specific events use
-    free-form names via :meth:`bump` (e.g. ``"weihl.retry"``, ``"ctl.scan"``)
-    so new protocols never require schema changes here.
+    Backed by a :class:`~repro.obs.metrics.MetricsRegistry`, so the same
+    counters feed experiment tables, exporters, and ad-hoc inspection; the
+    legacy :meth:`bump`/:meth:`get`/:meth:`as_dict` surface is unchanged.
+    Protocol-specific events use free-form names via :meth:`bump`
+    (e.g. ``"weihl.retry"``, ``"ctl.scan"``) so new protocols never require
+    schema changes here.
+
+    When a :class:`~repro.obs.tracer.Tracer` is attached (see
+    :func:`repro.obs.instrument.attach_tracer`), every canonical ``note_*``
+    call additionally emits a structured trace event — the counters sit on
+    every protocol's uniform instrumentation points, so routing the tracer
+    through them covers transaction lifecycle, CC/VC interaction, blocking
+    and synchronization writes for all protocols at once.
     """
 
-    def __init__(self) -> None:
-        self._events: Counter[str] = Counter()
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- generic -------------------------------------------------------------
 
     def bump(self, name: str, amount: int = 1) -> None:
-        self._events[name] += amount
+        self.registry.counter(name).inc(amount)
 
     def get(self, name: str) -> int:
-        return self._events.get(name, 0)
+        return self.registry.counter_value(name)
 
     def as_dict(self) -> dict[str, int]:
-        return dict(self._events)
+        return self.registry.counters_dict()
 
     # -- canonical events -------------------------------------------------------
 
@@ -60,10 +75,16 @@ class SchedulerCounters:
         return "ro" if txn.is_read_only else "rw"
 
     def note_begin(self, txn: Transaction) -> None:
-        self.bump(f"begin.{self._suffix(txn)}")
+        suffix = self._suffix(txn)
+        self.bump(f"begin.{suffix}")
+        if self.tracer.enabled:
+            self.tracer.emit("txn.begin", txn=txn.txn_id, cls=suffix)
 
     def note_commit(self, txn: Transaction) -> None:
-        self.bump(f"commit.{self._suffix(txn)}")
+        suffix = self._suffix(txn)
+        self.bump(f"commit.{suffix}")
+        if self.tracer.enabled:
+            self.tracer.emit("txn.commit", txn=txn.txn_id, cls=suffix, tn=txn.tn)
 
     def note_abort(self, txn: Transaction, reason: AbortReason, caused_by_readonly: bool) -> None:
         suffix = self._suffix(txn)
@@ -71,21 +92,38 @@ class SchedulerCounters:
         self.bump(f"abort.{suffix}.{reason.value}")
         if caused_by_readonly and not txn.is_read_only:
             self.bump("abort.rw.caused_by_readonly")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "txn.abort",
+                txn=txn.txn_id,
+                cls=suffix,
+                reason=reason.value,
+                ro_caused=caused_by_readonly,
+            )
 
     def note_cc_interaction(self, txn: Transaction, kind: str = "op") -> None:
         """One call into the concurrency-control component for ``txn``."""
-        self.bump(f"cc.{self._suffix(txn)}")
-        self.bump(f"cc.{self._suffix(txn)}.{kind}")
+        suffix = self._suffix(txn)
+        self.bump(f"cc.{suffix}")
+        self.bump(f"cc.{suffix}.{kind}")
+        if self.tracer.enabled:
+            self.tracer.emit("cc.call", txn=txn.txn_id, cls=suffix, kind=kind)
 
     def note_vc_interaction(self, txn: Transaction, kind: str) -> None:
         """One call into the version-control component for ``txn``."""
-        self.bump(f"vc.{self._suffix(txn)}")
-        self.bump(f"vc.{self._suffix(txn)}.{kind}")
+        suffix = self._suffix(txn)
+        self.bump(f"vc.{suffix}")
+        self.bump(f"vc.{suffix}.{kind}")
+        if self.tracer.enabled:
+            self.tracer.emit("vc.call", txn=txn.txn_id, cls=suffix, kind=kind)
 
     def note_block(self, txn: Transaction, cause: str = "") -> None:
-        self.bump(f"block.{self._suffix(txn)}")
+        suffix = self._suffix(txn)
+        self.bump(f"block.{suffix}")
         if cause:
-            self.bump(f"block.{self._suffix(txn)}.{cause}")
+            self.bump(f"block.{suffix}.{cause}")
+        if self.tracer.enabled:
+            self.tracer.emit("txn.block", txn=txn.txn_id, cls=suffix, cause=cause)
 
     def note_sync_write(self, txn: Transaction, kind: str) -> None:
         """A synchronization *write* (shared mutable CC state mutated).
@@ -94,8 +132,11 @@ class SchedulerCounters:
         paper calls this out as overhead and as the mechanism by which
         read-only transactions abort writers.  EXP-A counts these.
         """
-        self.bump(f"syncwrite.{self._suffix(txn)}")
-        self.bump(f"syncwrite.{self._suffix(txn)}.{kind}")
+        suffix = self._suffix(txn)
+        self.bump(f"syncwrite.{suffix}")
+        self.bump(f"syncwrite.{suffix}.{kind}")
+        if self.tracer.enabled:
+            self.tracer.emit("txn.syncwrite", txn=txn.txn_id, cls=suffix, kind=kind)
 
 
 class Scheduler(abc.ABC):
@@ -114,6 +155,9 @@ class Scheduler(abc.ABC):
     def __init__(self) -> None:
         self.recorder = HistoryRecorder()
         self.counters = SchedulerCounters()
+        #: Structured-event tracer; NULL_TRACER unless attach_tracer() wired
+        #: a real one through this scheduler's components.
+        self.tracer: Tracer = NULL_TRACER
         self._active: dict[int, Transaction] = {}
 
     # -- lifecycle ---------------------------------------------------------------

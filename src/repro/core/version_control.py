@@ -82,6 +82,11 @@ class VersionControl:
         # assigned and completed.  Bounded: entries <= vtnc are summarized.
         self._completed_tns: set[int] = set()
         self._discarded_tns: set[int] = set()
+        # Bookkeeping-set pruning runs at most once per vtnc advance (see
+        # _drain); this records the vtnc value at the last prune, and the
+        # public counter lets tests assert prune frequency.
+        self._pruned_at_vtnc = first_tn - 1
+        self.bookkeeping_prunes = 0
         self._observers: list[Callable[[str, int], None]] = []
 
     # -- counters -------------------------------------------------------------
@@ -117,6 +122,20 @@ class VersionControl:
         protocols themselves never do.
         """
         self._observers.append(observer)
+
+    def unsubscribe(self, observer: Callable[[str, int], None]) -> None:
+        """Remove a previously subscribed observer.
+
+        Run teardown must detach exporters from long-lived modules, or a
+        finished run's collector keeps firing forever.  Raises ValueError if
+        the observer was never subscribed (or already removed) — silent
+        double-detach usually hides a lifecycle bug.
+        """
+        for index, existing in enumerate(self._observers):
+            if existing is observer:
+                del self._observers[index]
+                return
+        raise ValueError(f"observer {observer!r} is not subscribed")
 
     def _notify(self, event: str, number: int) -> None:
         for observer in self._observers:
@@ -228,10 +247,19 @@ class VersionControl:
                 self._vtnc = self._tnc - 1
                 self._notify("advance", self._vtnc)
         # Bound the bookkeeping sets: numbers at or below vtnc can never be
-        # consulted again by the invariant checker.
-        if len(self._completed_tns) > 1024 or len(self._discarded_tns) > 1024:
+        # consulted again by the invariant checker.  Prune only when vtnc has
+        # advanced since the last prune — entries above vtnc are retained by
+        # design, so re-scanning a large set on every call while the head is
+        # stuck would make each vc_complete/vc_discard O(set size) for no
+        # removals at all.
+        if (
+            self._vtnc > self._pruned_at_vtnc
+            and (len(self._completed_tns) > 1024 or len(self._discarded_tns) > 1024)
+        ):
             self._completed_tns = {n for n in self._completed_tns if n > self._vtnc}
             self._discarded_tns = {n for n in self._discarded_tns if n > self._vtnc}
+            self._pruned_at_vtnc = self._vtnc
+            self.bookkeeping_prunes += 1
 
     # -- introspection ------------------------------------------------------------
 

@@ -1,0 +1,45 @@
+"""repro.obs — unified tracing and metrics for the reproduction.
+
+Three pieces, designed to keep the paper's observability claims honest:
+
+* :mod:`repro.obs.tracer` — structured, virtual-time-stamped events with a
+  no-op :data:`NULL_TRACER` default (near-zero cost when disabled);
+* :mod:`repro.obs.metrics` — counters, gauges, HDR-style histograms behind
+  a :class:`MetricsRegistry` that backs every scheduler's counters;
+* :mod:`repro.obs.exporters` / :mod:`repro.obs.instrument` /
+  :mod:`repro.obs.analyze` — where events go, how they get wired through a
+  scheduler, and how a recorded trace is read back
+  (``python -m repro trace``).
+
+See ``docs/observability.md`` for the event-name schema and CLI usage.
+"""
+
+from repro.obs.exporters import (
+    ConsoleSummaryExporter,
+    JsonlExporter,
+    RingBufferExporter,
+)
+from repro.obs.instrument import (
+    Instrumentation,
+    attach_tracer,
+    subscribe_version_control,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer
+
+__all__ = [
+    "ConsoleSummaryExporter",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "JsonlExporter",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "RingBufferExporter",
+    "TraceEvent",
+    "Tracer",
+    "attach_tracer",
+    "subscribe_version_control",
+]

@@ -1,0 +1,311 @@
+"""Trace analysis: timelines, blocking chains, visibility-lag trajectories.
+
+Consumes JSONL traces written by :class:`~repro.obs.exporters.JsonlExporter`
+and reconstructs the three views the paper's arguments revolve around:
+
+* **per-transaction timelines** — every event a transaction touched, with
+  its VC registration (``tn`` assignment) paired to the ``vc.advance`` that
+  made it visible: the register→advance distance *is* delayed visibility;
+* **blocking chains** — who waited on whom, rebuilt from ``lock.block``
+  events (which carry the holder set at block time) and the interval each
+  transaction spent blocked;
+* **visibility-lag series** — ``lag = tnc - vtnc - 1`` after every counter
+  movement, turning EXP-D's single time-weighted average into an
+  inspectable trajectory.
+
+The ``python -m repro trace`` subcommand is a thin wrapper over
+:func:`main` here.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+TraceDicts = list[dict[str, Any]]
+
+
+def load_trace(path: str) -> TraceDicts:
+    """Read a JSONL trace file into a list of event dicts, in file order.
+
+    Blank lines are skipped; a malformed line raises ``ValueError`` naming
+    the line number, because a truncated trace usually means the exporter
+    was never closed.
+    """
+    events: TraceDicts = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for lineno, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed trace line ({exc.msg}); "
+                    "was the JsonlExporter closed?"
+                ) from None
+            if not isinstance(event, dict) or "name" not in event or "ts" not in event:
+                raise ValueError(f"{path}:{lineno}: not a trace event: {line[:80]}")
+            events.append(event)
+    return events
+
+
+# -- per-transaction timelines ---------------------------------------------------
+
+
+def visibility_pairs(events: Iterable[dict[str, Any]]) -> dict[int, tuple[float, float | None]]:
+    """Map each registered ``tn`` to ``(register_ts, visible_ts)``.
+
+    A transaction number becomes visible at the first ``vc.advance`` whose
+    ``vtnc`` reaches it; ``None`` means the trace ended while the number was
+    still invisible (or it was discarded by an abort).
+    """
+    pairs: dict[int, tuple[float, float | None]] = {}
+    discarded: set[int] = set()
+    for event in events:
+        name = event["name"]
+        if name == "vc.register":
+            pairs[event["number"]] = (event["ts"], None)
+        elif name == "vc.discard":
+            discarded.add(event["number"])
+        elif name == "vc.advance":
+            vtnc = event["number"]
+            for tn, (reg_ts, vis_ts) in pairs.items():
+                if vis_ts is None and tn <= vtnc and tn not in discarded:
+                    pairs[tn] = (reg_ts, event["ts"])
+    return pairs
+
+
+def transaction_timelines(events: TraceDicts) -> dict[int, list[dict[str, Any]]]:
+    """Group events carrying a ``txn`` field by transaction id, in order."""
+    timelines: dict[int, list[dict[str, Any]]] = {}
+    for event in events:
+        txn = event.get("txn")
+        if txn is None:
+            continue
+        timelines.setdefault(txn, []).append(event)
+    return timelines
+
+
+def _event_detail(event: dict[str, Any]) -> str:
+    skip = {"name", "ts", "txn", "cls"}
+    parts = [f"{k}={event[k]}" for k in event if k not in skip and event[k] is not None]
+    return " ".join(parts)
+
+
+def render_timelines(events: TraceDicts, limit: int = 50) -> str:
+    """Per-transaction timelines, VC visibility pairs included."""
+    timelines = transaction_timelines(events)
+    if not timelines:
+        return "no transaction events in trace"
+    pairs = visibility_pairs(events)
+    lines: list[str] = []
+    for index, (txn, txn_events) in enumerate(sorted(timelines.items())):
+        if index >= limit:
+            lines.append(f"... ({len(timelines) - limit} more transactions)")
+            break
+        cls = next((e.get("cls") for e in txn_events if e.get("cls")), "?")
+        first, last = txn_events[0], txn_events[-1]
+        outcome = next(
+            (e["name"].split(".", 1)[1] for e in txn_events
+             if e["name"] in ("txn.commit", "txn.abort")),
+            "open",
+        )
+        header = (
+            f"T{txn} [{cls}] {outcome}: "
+            f"{len(txn_events)} events @{first['ts']:g}..{last['ts']:g}"
+        )
+        lines.append(header)
+        for event in txn_events:
+            detail = _event_detail(event)
+            lines.append(f"  {event['ts']:>10g}  {event['name']:<16} {detail}".rstrip())
+        tn = next((e.get("tn") for e in txn_events if e.get("tn") is not None), None)
+        if tn is not None and tn in pairs:
+            reg_ts, vis_ts = pairs[tn]
+            if vis_ts is None:
+                lines.append(f"  {'':>10}  vc.visible       tn={tn} never (trace ended)")
+            else:
+                lines.append(
+                    f"  {vis_ts:>10g}  vc.visible       tn={tn} "
+                    f"registered@{reg_ts:g} delay={vis_ts - reg_ts:g}"
+                )
+    return "\n".join(lines)
+
+
+# -- blocking chains --------------------------------------------------------------
+
+
+def blocking_chains(events: TraceDicts) -> list[dict[str, Any]]:
+    """Reconstruct who-waits-on-whom chains at every ``lock.block`` event.
+
+    ``lock.block`` carries the holder set at block time.  A chain follows
+    waiter → holder edges while the holder is itself blocked, so a result
+    like ``[5, 3, 1]`` reads "T5 waited on T3 which was waiting on T1".
+    Each entry: ``{"ts", "key", "chain"}``.
+    """
+    blocked_on: dict[int, int] = {}  # txn -> first holder it currently waits on
+    chains: list[dict[str, Any]] = []
+    for event in events:
+        name = event["name"]
+        if name == "lock.block":
+            txn = event["txn"]
+            holders = event.get("holders") or []
+            if holders:
+                blocked_on[txn] = holders[0]
+            chain = [txn]
+            seen = {txn}
+            cursor = txn
+            while cursor in blocked_on:
+                nxt = blocked_on[cursor]
+                if nxt in seen:
+                    chain.append(nxt)  # cycle (deadlock in flight)
+                    break
+                chain.append(nxt)
+                seen.add(nxt)
+                cursor = nxt
+            chains.append({"ts": event["ts"], "key": event.get("key"), "chain": chain})
+        elif name == "lock.grant" and event.get("waited"):
+            blocked_on.pop(event["txn"], None)
+        elif name in ("txn.abort", "txn.commit", "lock.release"):
+            txn = event.get("txn")
+            if txn is not None:
+                blocked_on.pop(txn, None)
+    return chains
+
+
+def render_blocking(events: TraceDicts, limit: int = 50) -> str:
+    chains = blocking_chains(events)
+    if not chains:
+        return "no blocking events in trace"
+    deadlocks = [e for e in events if e["name"] == "lock.deadlock"]
+    lines = [f"{len(chains)} blocking events, {len(deadlocks)} deadlocks"]
+    for entry in chains[:limit]:
+        arrow = " -> ".join(f"T{t}" for t in entry["chain"])
+        lines.append(f"  {entry['ts']:>10g}  key={entry['key']!r:<12} {arrow}")
+    if len(chains) > limit:
+        lines.append(f"  ... ({len(chains) - limit} more)")
+    for event in deadlocks:
+        cycle = " -> ".join(f"T{t}" for t in event.get("cycle", ()))
+        lines.append(
+            f"  {event['ts']:>10g}  DEADLOCK victim=T{event.get('victim')} cycle: {cycle}"
+        )
+    return "\n".join(lines)
+
+
+# -- visibility lag ----------------------------------------------------------------
+
+
+def visibility_lag_series(events: TraceDicts) -> list[tuple[float, int]]:
+    """``(ts, lag)`` after every VC counter movement, in trace order."""
+    return [
+        (event["ts"], event["lag"])
+        for event in events
+        if event["name"] in ("vc.register", "vc.advance", "vc.discard")
+        and "lag" in event
+    ]
+
+
+def render_lag_series(events: TraceDicts, max_rows: int = 40, width: int = 40) -> str:
+    series = visibility_lag_series(events)
+    if not series:
+        return "no version-control events in trace"
+    peak = max(lag for _ts, lag in series)
+    mean = sum(lag for _ts, lag in series) / len(series)
+    lines = [
+        f"visibility lag: {len(series)} samples, peak={peak}, "
+        f"mean-per-event={mean:.2f}"
+    ]
+    if len(series) > max_rows:  # resample evenly, keeping first and last
+        step = (len(series) - 1) / (max_rows - 1)
+        picked = [series[round(i * step)] for i in range(max_rows)]
+    else:
+        picked = series
+    scale = width / peak if peak else 0.0
+    for ts, lag in picked:
+        bar = "#" * int(round(lag * scale))
+        lines.append(f"  {ts:>10g}  {lag:>4d} {bar}")
+    return "\n".join(lines)
+
+
+# -- summary + CLI -----------------------------------------------------------------
+
+
+def render_summary(events: TraceDicts) -> str:
+    counts: dict[str, int] = {}
+    for event in events:
+        counts[event["name"]] = counts.get(event["name"], 0) + 1
+    if not counts:
+        return "empty trace"
+    span = events[-1]["ts"] - events[0]["ts"]
+    lines = [f"{len(events)} events over {span:g} time units"]
+    width = max(len(name) for name in counts)
+    for name, count in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])):
+        lines.append(f"  {name:<{width}}  {count}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    """``python -m repro trace <file> [--timelines] [--blocking] [--lag] [--summary]``.
+
+    With no section flags, all four sections print.  ``--limit N`` caps the
+    rows of the timeline and blocking sections (default 50).
+    """
+    args = list(argv)
+    sections = {"timelines": False, "blocking": False, "lag": False, "summary": False}
+    limit = 50
+    path: str | None = None
+    index = 0
+    while index < len(args):
+        arg = args[index]
+        if arg in ("-h", "--help"):
+            print(main.__doc__)
+            return 0
+        if arg.startswith("--"):
+            flag = arg[2:]
+            if flag in sections:
+                sections[flag] = True
+            elif flag == "limit":
+                index += 1
+                if index >= len(args):
+                    print("--limit needs a value")
+                    return 2
+                try:
+                    limit = int(args[index])
+                except ValueError:
+                    print(f"--limit needs an integer, got {args[index]!r}")
+                    return 2
+            else:
+                print(f"unknown option {arg!r}")
+                return 2
+        elif path is None:
+            path = arg
+        else:
+            print(f"unexpected argument {arg!r}")
+            return 2
+        index += 1
+    if path is None:
+        print("usage: python -m repro trace <trace.jsonl> "
+              "[--timelines] [--blocking] [--lag] [--summary] [--limit N]")
+        return 2
+    try:
+        events = load_trace(path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load trace: {exc}")
+        return 1
+    if not any(sections.values()):
+        sections = dict.fromkeys(sections, True)
+    blocks: list[str] = []
+    if sections["summary"]:
+        blocks.append("== summary ==\n" + render_summary(events))
+    if sections["timelines"]:
+        blocks.append("== per-transaction timelines ==\n" + render_timelines(events, limit))
+    if sections["blocking"]:
+        blocks.append("== blocking chains ==\n" + render_blocking(events, limit))
+    if sections["lag"]:
+        blocks.append("== visibility lag ==\n" + render_lag_series(events))
+    try:
+        print("\n\n".join(blocks))
+    except BrokenPipeError:  # e.g. `... | head`; the reader got what it wanted
+        pass
+    return 0

@@ -1,0 +1,133 @@
+"""Trace exporters: ring buffer, JSONL file, console summary.
+
+An exporter is anything with ``export(event: TraceEvent) -> None`` and an
+optional ``close()``.  Exporters are synchronous and see events in emit
+order — the tracer stamps timestamps before fan-out, so every exporter
+records the same virtual-time view of the run.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+from collections import Counter as _TallyCounter
+from collections import deque
+from typing import IO, Any
+
+from repro.obs.tracer import TraceEvent
+
+
+class RingBufferExporter:
+    """Keep the most recent ``capacity`` events in memory.
+
+    The default capacity is large enough for a whole experiment run but
+    bounded, so an always-on tracer cannot exhaust memory.  ``events()``
+    returns a snapshot list, oldest first.
+    """
+
+    def __init__(self, capacity: int = 65_536):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._buffer: deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def export(self, event: TraceEvent) -> None:
+        if len(self._buffer) == self.capacity:
+            self.dropped += 1
+        self._buffer.append(event)
+
+    def events(self) -> list[TraceEvent]:
+        return list(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class JsonlExporter:
+    """Write one JSON object per event to a file (the trace-CLI input format).
+
+    Non-JSON field values (tuple keys, enums, transactions) are serialized
+    via ``repr`` rather than erroring — a trace must never kill the run it
+    observes.  Use as a context manager, or call :meth:`close` explicitly,
+    to flush and release the file handle.
+    """
+
+    def __init__(self, path_or_stream: str | IO[str]):
+        if isinstance(path_or_stream, (str, bytes)):
+            self.path: str | None = str(path_or_stream)
+            self._stream: IO[str] = open(path_or_stream, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self.path = None
+            self._stream = path_or_stream
+            self._owns_stream = False
+        self.exported = 0
+
+    def export(self, event: TraceEvent) -> None:
+        json.dump(event.to_dict(), self._stream, default=repr, separators=(",", ":"))
+        self._stream.write("\n")
+        self.exported += 1
+
+    def flush(self) -> None:
+        self._stream.flush()
+
+    def close(self) -> None:
+        if self._owns_stream and not self._stream.closed:
+            self._stream.close()
+        elif not self._owns_stream:
+            self._stream.flush()
+
+    def __enter__(self) -> "JsonlExporter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class ConsoleSummaryExporter:
+    """Tally events by name and print a human-readable summary on close.
+
+    Deliberately stores no events — only per-name counts and the time span —
+    so it is safe for arbitrarily long runs.  ``summary()`` renders the
+    table at any point without closing.
+    """
+
+    def __init__(self, stream: IO[str] | None = None):
+        self._stream = stream if stream is not None else sys.stdout
+        self._tally: _TallyCounter[str] = _TallyCounter()
+        self._first_ts: float | None = None
+        self._last_ts: float | None = None
+        self._closed = False
+
+    def export(self, event: TraceEvent) -> None:
+        self._tally[event.name] += 1
+        if self._first_ts is None:
+            self._first_ts = event.ts
+        self._last_ts = event.ts
+
+    def counts(self) -> dict[str, int]:
+        return dict(self._tally)
+
+    def summary(self) -> str:
+        total = sum(self._tally.values())
+        if not total:
+            return "trace summary: no events"
+        out = io.StringIO()
+        span = (self._last_ts or 0.0) - (self._first_ts or 0.0)
+        out.write(f"trace summary: {total} events over {span:g} time units\n")
+        width = max(len(name) for name in self._tally)
+        for name, count in sorted(self._tally.items(), key=lambda kv: (-kv[1], kv[0])):
+            out.write(f"  {name:<{width}}  {count}\n")
+        return out.getvalue().rstrip("\n")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        print(self.summary(), file=self._stream)

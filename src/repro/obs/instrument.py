@@ -1,0 +1,124 @@
+"""Attach / detach a tracer across a scheduler's component graph.
+
+Instrumentation is deliberately *external*: components carry a ``tracer``
+attribute defaulting to :data:`~repro.obs.tracer.NULL_TRACER` and emit
+behind an ``enabled`` guard, and this module is the one place that knows
+which components a scheduler is built from (lock manager, version control,
+garbage collector, write-ahead log, nested engines).  Version-control
+events ride the module's existing observer hook — no tracing code lives in
+``VersionControl`` itself — which is why :meth:`VersionControl.unsubscribe`
+exists: the observer must detach on run teardown or a long-lived VC module
+would keep dead exporters alive and emitting.
+
+Usage::
+
+    tracer = Tracer(exporters=[JsonlExporter("run.jsonl")])
+    handle = attach_tracer(scheduler, tracer)
+    ...  # run the workload
+    handle.detach()   # unsubscribes VC observers, restores NULL_TRACER
+    tracer.close()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+
+def subscribe_version_control(vc: Any, tracer: Tracer) -> Callable[[str, int], None] | None:
+    """Bridge a VersionControl module's observer hook onto ``tracer``.
+
+    Emits ``vc.register`` / ``vc.advance`` / ``vc.discard`` events carrying
+    the counter movement plus the module's current ``tnc``/``vtnc``/``lag``,
+    so visibility-lag trajectories can be reconstructed from the trace alone.
+    Returns the subscribed observer (pass it to ``vc.unsubscribe``), or
+    ``None`` when the tracer is disabled — a null tracer must leave the
+    module's observer list untouched so the disabled path stays free.
+    """
+    if not tracer.enabled:
+        return None
+
+    def observer(event: str, number: int) -> None:
+        tracer.emit(
+            f"vc.{event}",
+            number=number,
+            tnc=vc.tnc,
+            vtnc=vc.vtnc,
+            lag=vc.lag,
+        )
+
+    vc.subscribe(observer)
+    return observer
+
+
+class Instrumentation:
+    """Handle for one attach: remembers what to undo."""
+
+    def __init__(self, tracer: Tracer):
+        self.tracer = tracer
+        self._tracer_slots: list[Any] = []  # objects whose .tracer we set
+        self._vc_observers: list[tuple[Any, Callable[[str, int], None]]] = []
+        self._detached = False
+
+    def _set_tracer(self, obj: Any) -> None:
+        if obj is not None and hasattr(obj, "tracer"):
+            obj.tracer = self.tracer
+            self._tracer_slots.append(obj)
+
+    def _subscribe_vc(self, vc: Any) -> None:
+        if vc is None or any(existing is vc for existing, _ in self._vc_observers):
+            return
+        observer = subscribe_version_control(vc, self.tracer)
+        if observer is not None:
+            self._vc_observers.append((vc, observer))
+
+    def detach(self) -> None:
+        """Restore NULL_TRACER everywhere and unsubscribe VC observers."""
+        if self._detached:
+            return
+        self._detached = True
+        for obj in self._tracer_slots:
+            obj.tracer = NULL_TRACER
+        self._tracer_slots.clear()
+        for vc, observer in self._vc_observers:
+            vc.unsubscribe(observer)
+        self._vc_observers.clear()
+
+    def __enter__(self) -> "Instrumentation":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.detach()
+
+
+def attach_tracer(scheduler: Any, tracer: Tracer) -> Instrumentation:
+    """Wire ``tracer`` through every instrumented component of ``scheduler``.
+
+    Touches, when present: the scheduler itself and its ``counters`` (txn
+    lifecycle, cc/vc interaction, block, syncwrite events), ``locks`` (lock
+    grant/block/release, deadlock events), ``gc`` (sweep events), ``log``
+    (WAL append/force/crash events), and ``vc`` (via the observer hook).
+    Nested engines (the adaptive scheduler) are instrumented recursively.
+    Returns an :class:`Instrumentation` handle whose :meth:`~Instrumentation.detach`
+    undoes everything — always detach on run teardown.
+    """
+    handle = Instrumentation(tracer)
+    _attach_one(scheduler, handle)
+    engines = getattr(scheduler, "_engines", None)
+    if isinstance(engines, dict):
+        for engine in engines.values():
+            _attach_one(engine, handle)
+    return handle
+
+
+def _attach_one(scheduler: Any, handle: Instrumentation) -> None:
+    handle._set_tracer(scheduler)
+    handle._set_tracer(getattr(scheduler, "counters", None))
+    locks = getattr(scheduler, "locks", None)
+    handle._set_tracer(locks)
+    if locks is not None:
+        handle._set_tracer(getattr(locks, "waits_for", None))
+    handle._set_tracer(getattr(scheduler, "gc", None))
+    handle._set_tracer(getattr(scheduler, "log", None))
+    handle._subscribe_vc(getattr(scheduler, "vc", None))

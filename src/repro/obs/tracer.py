@@ -1,0 +1,179 @@
+"""Structured event tracing with virtual-time stamps.
+
+The paper's claims are observability statements — "read-only transactions
+have no concurrency-control overhead", "visibility may lag" — so the tracer
+is a first-class subsystem rather than debug printf.  Design constraints:
+
+* **Near-zero cost when disabled.**  Every instrumentation site is written
+  as ``if tracer.enabled: tracer.emit(...)`` so a disabled tracer costs one
+  attribute load and a falsy test.  :data:`NULL_TRACER` (the default on
+  every component) additionally has a no-op :meth:`~NullTracer.emit`, so
+  even un-guarded call sites are cheap.
+* **Virtual time, not wall time.**  Simulated runs stamp events with the
+  simulator's clock (``tracer.clock = lambda: sim.now``); outside a
+  simulation the default clock is a deterministic monotone sequence, which
+  keeps traces reproducible and diffable.
+* **Pluggable exporters** (:mod:`repro.obs.exporters`): ring buffer, JSONL
+  file, console summary.  An event is fanned out to every exporter at emit
+  time; exporters never see events from a disabled tracer.
+
+Event names form dotted families (``txn.*``, ``cc.*``, ``vc.*``,
+``lock.*``, ``gc.*``, ``wal.*``, ``sim.*``) — the schema is documented in
+``docs/observability.md`` and consumed by :mod:`repro.obs.analyze`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable
+
+
+class TraceEvent:
+    """One structured trace event: a name, a timestamp, and free-form fields."""
+
+    __slots__ = ("name", "ts", "fields")
+
+    def __init__(self, name: str, ts: float, fields: dict[str, Any]):
+        self.name = name
+        self.ts = ts
+        self.fields = fields
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat dict form (``name`` and ``ts`` first) for JSONL export."""
+        out: dict[str, Any] = {"name": self.name, "ts": self.ts}
+        out.update(self.fields)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kv = " ".join(f"{k}={v!r}" for k, v in self.fields.items())
+        return f"<TraceEvent {self.name} @{self.ts} {kv}>"
+
+
+class _Span:
+    """Context manager emitting ``<name>.start`` / ``<name>.end`` events.
+
+    The ``.end`` event carries ``elapsed`` (in clock units) so span
+    durations survive into the trace without the analyzer having to pair
+    events back up.
+    """
+
+    __slots__ = ("_tracer", "_name", "_fields", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, fields: dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._fields = fields
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = self._tracer.clock()
+        self._tracer.emit(f"{self._name}.start", **self._fields)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = self._tracer.clock()
+        self._tracer.emit(
+            f"{self._name}.end",
+            elapsed=end - self._t0,
+            ok=exc_type is None,
+            **self._fields,
+        )
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Fan-out tracer: stamps events with its clock and feeds every exporter.
+
+    Args:
+        exporters: initial exporter list; more can be added later.
+        clock: zero-argument callable returning the current (virtual) time.
+            Defaults to a deterministic monotone counter so stand-alone
+            traces are reproducible.
+    """
+
+    enabled: bool = True
+
+    def __init__(
+        self,
+        exporters: Iterable[Any] = (),
+        clock: Callable[[], float] | None = None,
+    ):
+        self._exporters: list[Any] = list(exporters)
+        self._seq = itertools.count()
+        self.clock: Callable[[], float] = clock if clock is not None else self._tick
+
+    def _tick(self) -> float:
+        return float(next(self._seq))
+
+    # -- exporter management --------------------------------------------------
+
+    def add_exporter(self, exporter: Any) -> None:
+        self._exporters.append(exporter)
+
+    def remove_exporter(self, exporter: Any) -> None:
+        self._exporters.remove(exporter)
+
+    @property
+    def exporters(self) -> list[Any]:
+        return list(self._exporters)
+
+    # -- emitting --------------------------------------------------------------
+
+    def emit(self, name: str, **fields: Any) -> None:
+        """Stamp and export one event.  Cheap no-op when no exporter listens."""
+        if not self._exporters:
+            return
+        event = TraceEvent(name, self.clock(), fields)
+        for exporter in self._exporters:
+            exporter.export(event)
+
+    def span(self, name: str, **fields: Any) -> _Span:
+        """Time a region: ``with tracer.span("gc.pass"): ...``."""
+        return _Span(self, name, fields)
+
+    def close(self) -> None:
+        """Close every exporter that supports closing (flushes files)."""
+        for exporter in self._exporters:
+            close = getattr(exporter, "close", None)
+            if close is not None:
+                close()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every operation is a no-op.
+
+    Shared singleton :data:`NULL_TRACER` is the default ``tracer`` attribute
+    of every instrumented component, so the hot path never branches on
+    ``None`` and the overhead guard (``tests/test_obs_overhead.py``) can
+    hold the disabled cost below 5%.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def emit(self, name: str, **fields: Any) -> None:
+        return None
+
+    def span(self, name: str, **fields: Any) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def add_exporter(self, exporter: Any) -> None:
+        raise ValueError("NULL_TRACER is shared and immutable; create a Tracer()")
+
+
+#: Shared disabled tracer — the default everywhere.
+NULL_TRACER = NullTracer()

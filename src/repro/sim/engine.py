@@ -24,6 +24,7 @@ import itertools
 from typing import Any, Callable, Generator, Iterable
 
 from repro.core.futures import OpFuture
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 class SimError(Exception):
@@ -48,15 +49,23 @@ class Process:
 
 
 class Simulator:
-    """Virtual-clock event loop."""
+    """Virtual-clock event loop.
 
-    def __init__(self) -> None:
+    Args:
+        tracer: optional structured-event tracer; when enabled, the
+            simulator emits ``sim.spawn`` / ``sim.process.end`` /
+            ``sim.process.error`` events stamped with virtual time, so a
+            trace shows exactly when each client entered and left the run.
+    """
+
+    def __init__(self, tracer: Tracer | None = None) -> None:
         self.now = 0.0
         self._sequence = itertools.count()
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self.processes: list[Process] = []
         #: Total events dispatched (a determinism fingerprint for tests).
         self.events_dispatched = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- scheduling primitives -------------------------------------------------
 
@@ -74,6 +83,8 @@ class Simulator:
         """Register a generator as a process; it starts at the current time."""
         process = Process(name or f"p{len(self.processes)}", generator)
         self.processes.append(process)
+        if self.tracer.enabled:
+            self.tracer.emit("sim.spawn", process=process.name)
         self.call_in(0.0, lambda: self._step(process, None, None))
         return process
 
@@ -94,10 +105,16 @@ class Simulator:
         except StopIteration as stop:
             process.finished = True
             process.result = stop.value
+            if self.tracer.enabled:
+                self.tracer.emit("sim.process.end", process=process.name)
             return
         except BaseException as exc:  # noqa: BLE001 - report, do not mask
             process.finished = True
             process.error = exc
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "sim.process.error", process=process.name, error=type(exc).__name__
+                )
             raise
         self._handle_yield(process, yielded)
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 from repro.core.transaction import Transaction
 from repro.core.version_control import VersionControl
 from repro.errors import ProtocolError
+from repro.obs.tracer import NULL_TRACER
 from repro.storage.mvstore import MVStore
 
 
@@ -79,6 +80,9 @@ class GarbageCollector:
         self.total_discarded = 0
         #: Number of collection passes run.
         self.passes = 0
+        #: Structured-event tracer (gc.sweep per pass); NULL_TRACER unless
+        #: attach_tracer() wired one.
+        self.tracer = NULL_TRACER
 
     def horizon(self) -> int:
         """The largest version number guaranteed no longer needed *below*.
@@ -94,7 +98,15 @@ class GarbageCollector:
 
     def collect(self) -> int:
         """Run one collection pass; returns the number of versions discarded."""
-        discarded = self._store.prune(self.horizon())
+        horizon = self.horizon()
+        discarded = self._store.prune(horizon)
         self.total_discarded += discarded
         self.passes += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "gc.sweep",
+                horizon=horizon,
+                discarded=discarded,
+                active_readers=self.registry.active_count(),
+            )
         return discarded

@@ -28,6 +28,7 @@ from typing import Any, Hashable, Iterable
 
 from repro.core.version_control import VersionControl
 from repro.errors import ReproError
+from repro.obs.tracer import NULL_TRACER
 from repro.storage.mvstore import MVStore
 
 
@@ -65,18 +66,30 @@ class WriteAheadLog:
         self._durable = 0
         #: Number of force (flush) operations — a cost proxy.
         self.forces = 0
+        #: Structured-event tracer (wal.append / wal.force / wal.crash);
+        #: NULL_TRACER unless attach_tracer() wired one.
+        self.tracer = NULL_TRACER
 
     def append(self, record: LogRecord) -> None:
         self._records.append(record)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "wal.append", kind=record.kind.value, txn=record.txn_id, tn=record.tn
+            )
 
     def force(self) -> None:
+        volatile = len(self._records) - self._durable
         self._durable = len(self._records)
         self.forces += 1
+        if self.tracer.enabled:
+            self.tracer.emit("wal.force", made_durable=volatile, durable=self._durable)
 
     def crash(self) -> int:
         """Drop volatile records; returns how many were lost."""
         lost = len(self._records) - self._durable
         del self._records[self._durable :]
+        if self.tracer.enabled:
+            self.tracer.emit("wal.crash", lost=lost, durable=self._durable)
         return lost
 
     def truncate_before_checkpoint(self) -> int:

@@ -1,0 +1,178 @@
+"""Trace analysis library + the `python -m repro trace` CLI."""
+
+import json
+
+import pytest
+
+import repro.__main__ as repro_main
+from repro.obs.analyze import (
+    blocking_chains,
+    load_trace,
+    main,
+    render_blocking,
+    render_lag_series,
+    render_timelines,
+    visibility_lag_series,
+    visibility_pairs,
+)
+
+
+def write_trace(path, events):
+    path.write_text("".join(json.dumps(e) + "\n" for e in events))
+    return str(path)
+
+
+VC_EVENTS = [
+    {"name": "vc.register", "ts": 1.0, "number": 1, "tnc": 2, "vtnc": 0, "lag": 1},
+    {"name": "vc.register", "ts": 2.0, "number": 2, "tnc": 3, "vtnc": 0, "lag": 2},
+    {"name": "vc.advance", "ts": 3.0, "number": 1, "tnc": 3, "vtnc": 1, "lag": 1},
+    {"name": "vc.discard", "ts": 4.0, "number": 2, "tnc": 3, "vtnc": 1, "lag": 1},
+]
+
+
+class TestLoadTrace:
+    def test_round_trip_and_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"name": "a", "ts": 0.0}\n\n{"name": "b", "ts": 1.0}\n')
+        assert [e["name"] for e in load_trace(str(path))] == ["a", "b"]
+
+    def test_malformed_line_names_line_number(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"name": "a", "ts": 0.0}\n{"name": "trunc')
+        with pytest.raises(ValueError, match=r":2:.*JsonlExporter closed"):
+            load_trace(str(path))
+
+    def test_non_event_object_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"no_name": 1}\n')
+        with pytest.raises(ValueError, match="not a trace event"):
+            load_trace(str(path))
+
+
+class TestVisibility:
+    def test_pairs_honor_discards(self):
+        pairs = visibility_pairs(VC_EVENTS)
+        assert pairs[1] == (1.0, 3.0)
+        assert pairs[2] == (2.0, None)  # discarded: never became visible
+
+    def test_advance_covers_all_numbers_up_to_vtnc(self):
+        events = [
+            {"name": "vc.register", "ts": 0.0, "number": 1},
+            {"name": "vc.register", "ts": 1.0, "number": 2},
+            {"name": "vc.advance", "ts": 5.0, "number": 2},  # vtnc jumps to 2
+        ]
+        pairs = visibility_pairs(events)
+        assert pairs[1] == (0.0, 5.0) and pairs[2] == (1.0, 5.0)
+
+    def test_lag_series_and_rendering(self):
+        assert visibility_lag_series(VC_EVENTS) == [(1.0, 1), (2.0, 2), (3.0, 1), (4.0, 1)]
+        text = render_lag_series(VC_EVENTS)
+        assert "peak=2" in text and "4 samples" in text
+        assert "##" in text  # bar for the lag-2 sample
+
+    def test_lag_series_resamples_long_runs(self):
+        events = [
+            {"name": "vc.register", "ts": float(i), "number": i, "lag": 1}
+            for i in range(1, 200)
+        ]
+        text = render_lag_series(events, max_rows=10)
+        assert len(text.splitlines()) == 11  # header + 10 resampled rows
+        assert "199 samples" in text.splitlines()[0]
+        assert text.splitlines()[-1].lstrip().startswith("199")  # last sample kept
+
+
+class TestTimelines:
+    def test_renders_outcome_and_visibility_pair(self):
+        events = [
+            {"name": "txn.begin", "ts": 0.0, "txn": 7, "cls": "rw"},
+            {"name": "vc.register", "ts": 1.0, "number": 3},
+            {"name": "txn.commit", "ts": 2.0, "txn": 7, "cls": "rw", "tn": 3},
+            {"name": "vc.advance", "ts": 6.0, "number": 3},
+        ]
+        text = render_timelines(events)
+        assert "T7 [rw] commit" in text
+        assert "vc.visible       tn=3 registered@1 delay=5" in text
+
+    def test_limit_elides(self):
+        events = [
+            {"name": "txn.begin", "ts": float(i), "txn": i, "cls": "rw"}
+            for i in range(5)
+        ]
+        text = render_timelines(events, limit=2)
+        assert "(3 more transactions)" in text
+
+    def test_open_transaction_never_visible(self):
+        events = [
+            {"name": "txn.commit", "ts": 0.0, "txn": 1, "cls": "rw", "tn": 9},
+            {"name": "vc.register", "ts": 0.0, "number": 9},
+        ]
+        assert "never (trace ended)" in render_timelines(events)
+
+
+class TestBlockingChains:
+    def test_transitive_chain(self):
+        events = [
+            {"name": "lock.block", "ts": 1.0, "txn": 3, "key": "x", "holders": [1]},
+            {"name": "lock.block", "ts": 2.0, "txn": 5, "key": "y", "holders": [3]},
+        ]
+        chains = blocking_chains(events)
+        assert chains[1]["chain"] == [5, 3, 1]
+        assert "T5 -> T3 -> T1" in render_blocking(events)
+
+    def test_grant_clears_waiter(self):
+        events = [
+            {"name": "lock.block", "ts": 1.0, "txn": 3, "key": "x", "holders": [1]},
+            {"name": "lock.grant", "ts": 2.0, "txn": 3, "key": "x", "waited": True},
+            {"name": "lock.block", "ts": 3.0, "txn": 5, "key": "y", "holders": [3]},
+        ]
+        assert blocking_chains(events)[1]["chain"] == [5, 3]
+
+    def test_cycle_detected_in_flight(self):
+        events = [
+            {"name": "lock.block", "ts": 1.0, "txn": 1, "key": "x", "holders": [2]},
+            {"name": "lock.block", "ts": 2.0, "txn": 2, "key": "y", "holders": [1]},
+        ]
+        assert blocking_chains(events)[1]["chain"] == [2, 1, 2]
+
+    def test_deadlock_events_rendered(self):
+        events = [
+            {"name": "lock.block", "ts": 1.0, "txn": 1, "key": "x", "holders": [2]},
+            {"name": "lock.deadlock", "ts": 2.0, "victim": 1, "cycle": [1, 2], "policy": "youngest"},
+        ]
+        assert "DEADLOCK victim=T1 cycle: T1 -> T2" in render_blocking(events)
+
+
+class TestCli:
+    def test_all_sections_by_default(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", VC_EVENTS)
+        assert main([path]) == 0
+        out = capsys.readouterr().out
+        for section in ("== summary ==", "== per-transaction timelines ==",
+                        "== blocking chains ==", "== visibility lag =="):
+            assert section in out
+
+    def test_section_flags_select(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", VC_EVENTS)
+        assert main([path, "--lag"]) == 0
+        out = capsys.readouterr().out
+        assert "== visibility lag ==" in out
+        assert "== summary ==" not in out
+
+    def test_missing_file_is_error_not_traceback(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.jsonl")]) == 1
+        assert "cannot load trace" in capsys.readouterr().out
+
+    def test_usage_errors(self, capsys):
+        assert main([]) == 2
+        assert main(["--bogus"]) == 2
+        assert main(["a", "--limit"]) == 2
+        assert main(["a", "--limit", "abc"]) == 2
+
+    def test_help(self, capsys):
+        assert main(["--help"]) == 0
+        assert "--timelines" in capsys.readouterr().out
+
+    def test_wired_into_repro_main(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", VC_EVENTS)
+        assert repro_main.main(["trace", path, "--summary"]) == 0
+        assert "4 events" in capsys.readouterr().out

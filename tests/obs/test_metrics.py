@@ -1,0 +1,95 @@
+"""MetricsRegistry: counters, gauges, HDR-style histograms."""
+
+import random
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry
+
+
+class TestCountersAndGauges:
+    def test_counter_get_or_create_and_inc(self):
+        registry = MetricsRegistry()
+        registry.counter("commit.rw").inc()
+        registry.counter("commit.rw").inc(4)
+        assert registry.counter_value("commit.rw") == 5
+        assert registry.counter_value("never.touched") == 0
+        assert registry.counters_dict() == {"commit.rw": 5}
+
+    def test_gauge_watermarks(self):
+        gauge = MetricsRegistry().gauge("vc.lag")
+        gauge.set(3)
+        gauge.set(7)
+        gauge.set(2)
+        assert gauge.value == 2
+        assert gauge.maximum == 7
+        assert gauge.minimum == 2
+
+    def test_gauge_first_set_initializes_both_watermarks(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(-5)
+        assert gauge.maximum == -5 and gauge.minimum == -5
+
+
+class TestHistogram:
+    def test_exact_on_small_values(self):
+        hist = Histogram("h")
+        for v in [0.1, 0.2, 0.5]:
+            hist.record(v)
+        assert hist.count == 3
+        assert hist.minimum == pytest.approx(0.1)
+        assert hist.quantile(0.5) <= 1.0  # underflow bucket upper bound
+
+    def test_quantile_relative_error_bounded(self):
+        rng = random.Random(7)
+        hist = Histogram("lat", sub_buckets=32)
+        samples = [rng.expovariate(1 / 50.0) for _ in range(5000)]
+        for v in samples:
+            hist.record(v)
+        samples.sort()
+        for q in (0.5, 0.95, 0.99):
+            exact = samples[int(q * len(samples)) - 1]
+            approx = hist.quantile(q)
+            # log-linear buckets: upper bound within ~2/sub_buckets of exact
+            assert approx >= exact * 0.95
+            assert approx <= exact * 1.15
+
+    def test_mean_total_max(self):
+        hist = Histogram("h")
+        for v in (1.0, 2.0, 3.0):
+            hist.record(v)
+        assert hist.mean == pytest.approx(2.0)
+        assert hist.total == pytest.approx(6.0)
+        assert hist.maximum == 3.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Histogram("h").record(-1.0)
+
+    def test_empty_quantile_zero(self):
+        assert Histogram("h").quantile(0.99) == 0.0
+
+    def test_p50_never_exceeds_max(self):
+        hist = Histogram("h")
+        hist.record(1000.0)
+        assert hist.p50 == 1000.0
+
+
+class TestSnapshot:
+    def test_snapshot_structure(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").record(4.0)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"a": 2}
+        assert snap["gauges"]["g"]["value"] == 1.5
+        assert snap["histograms"]["h"]["count"] == 1
+        assert set(snap["histograms"]["h"]) >= {"mean", "p50", "p95", "p99"}
+
+    def test_iter_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.gauge("b")
+        registry.histogram("c")
+        assert {i.name for i in registry.iter_instruments()} == {"a", "b", "c"}

@@ -1,0 +1,93 @@
+"""Counter-name audit across every registered protocol.
+
+Two guarantees, uniform over the whole registry:
+
+* ``SchedulerCounters.as_dict()`` round-trips into ``RunMetrics.counters``
+  unchanged — the registry-backed rewrite of the counters must not change
+  what experiments read;
+* every counter name a protocol emits belongs to a canonical dotted family
+  (``begin.*``, ``cc.*``, ``vc.*``, ``block.*``, ...), so traces, metrics
+  tables, and the docs' event schema stay one vocabulary.
+"""
+
+import pytest
+
+from repro.bench.runner import SimConfig, run_simulation
+from repro.protocols.registry import PROTOCOLS, VC_PROTOCOLS, make_scheduler
+from repro.workload.mixes import balanced
+
+#: Every legal counter-name family.  A new prefix here requires a matching
+#: entry in docs/observability.md's schema section.
+CANONICAL_PREFIXES = (
+    "begin.",
+    "commit.",
+    "abort.",
+    "cc.",
+    "vc.",
+    "block.",
+    "syncwrite.",
+    "deadlock",
+    "user_abort.",
+    "weihl.",
+    "ctl.",
+    "occ.",
+    "adaptive.",
+    "ro.",
+)
+
+_CONFIG = SimConfig(duration=120.0, n_clients=6, check_serializability=False)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """One short balanced run per protocol: (scheduler, metrics)."""
+    out = {}
+    for index, name in enumerate(PROTOCOLS):
+        scheduler = make_scheduler(name)
+        metrics = run_simulation(scheduler, balanced(seed=100 + index), _CONFIG)
+        out[name] = (scheduler, metrics)
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(PROTOCOLS))
+def test_counters_round_trip_into_run_metrics(name, runs):
+    scheduler, metrics = runs[name]
+    assert metrics.counters == scheduler.counters.as_dict()
+    # and RunMetrics.counter() reads the same values back
+    for key, value in metrics.counters.items():
+        assert metrics.counter(key) == value
+    assert metrics.counter("no.such.counter") == 0
+
+
+@pytest.mark.parametrize("name", sorted(PROTOCOLS))
+def test_all_counter_names_are_canonical(name, runs):
+    _, metrics = runs[name]
+    stray = [
+        key for key in metrics.counters
+        if not key.startswith(CANONICAL_PREFIXES)
+    ]
+    assert not stray, f"{name} emits non-canonical counter names: {stray}"
+
+
+@pytest.mark.parametrize("name", sorted(PROTOCOLS))
+def test_lifecycle_counters_present(name, runs):
+    _, metrics = runs[name]
+    assert metrics.counter("begin.rw") > 0
+    assert metrics.counter("commit.rw") > 0
+    assert metrics.counter("begin.ro") > 0
+    assert metrics.counter("cc.rw") > 0  # read-write txns always touch CC
+
+
+@pytest.mark.parametrize("name", sorted(n for n in PROTOCOLS if n.startswith("vc-")))
+def test_vc_protocols_use_the_module_and_spare_readers(name, runs):
+    _, metrics = runs[name]
+    assert metrics.counter("vc.rw") > 0  # register/complete through VC
+    assert metrics.counter("vc.ro") > 0  # VCstart per read-only txn
+    assert metrics.counter("cc.ro") == 0  # the paper's claim, as a counter
+    assert metrics.counter("block.ro") == 0
+
+
+def test_registry_groupings_are_consistent():
+    assert set(VC_PROTOCOLS) <= set(PROTOCOLS)
+    for name, cls in PROTOCOLS.items():
+        assert cls.name == name

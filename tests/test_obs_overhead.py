@@ -1,0 +1,85 @@
+"""Overhead guard: a disabled (null) tracer must cost < 5% on the hot path.
+
+The micro-loop is the FIG1 workload from
+``benchmarks/bench_fig1_version_control.py`` (register + shuffled
+complete/discard over the VersionControl module).  The disabled
+configuration is what every component runs with by default: ``NULL_TRACER``
+in the ``tracer`` slot and *no* VC observer subscribed —
+``subscribe_version_control`` refuses to subscribe for a disabled tracer
+precisely so this guard can hold.
+
+Timing uses best-of-N with a few whole-test retries, so a single scheduler
+hiccup cannot fail CI; a genuine regression (an unguarded emit, an observer
+subscribed for a disabled tracer) fails all attempts.
+"""
+
+import random
+import time
+
+from repro.core.transaction import Transaction
+from repro.core.version_control import VersionControl
+from repro.obs import NULL_TRACER, attach_tracer
+from repro.obs.instrument import subscribe_version_control
+from repro.protocols.registry import make_scheduler
+
+N_TXNS = 1_000
+REPEATS = 5
+ATTEMPTS = 3
+LIMIT = 1.05
+
+
+def fig1_micro_loop(vc: VersionControl, seed: int = 42) -> None:
+    # mirrors benchmarks/bench_fig1_version_control.register_complete_shuffled
+    rng = random.Random(seed)
+    txns = [Transaction() for _ in range(N_TXNS)]
+    for txn in txns:
+        vc.vc_register(txn)
+    order = list(txns)
+    rng.shuffle(order)
+    for txn in order:
+        if rng.random() < 0.1:
+            vc.vc_discard(txn)
+        else:
+            vc.vc_complete(txn)
+
+
+def best_of(make_vc, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        vc = make_vc()
+        t0 = time.perf_counter()
+        fig1_micro_loop(vc)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def null_traced_vc() -> VersionControl:
+    vc = VersionControl(checked=True)
+    observer = subscribe_version_control(vc, NULL_TRACER)
+    assert observer is None  # disabled tracer must subscribe nothing
+    return vc
+
+
+def test_null_tracer_overhead_below_5_percent():
+    ratio = float("inf")
+    for _ in range(ATTEMPTS):
+        baseline = best_of(lambda: VersionControl(checked=True))
+        disabled = best_of(null_traced_vc)
+        ratio = disabled / baseline
+        if ratio < LIMIT:
+            break
+    assert ratio < LIMIT, (
+        f"null tracer costs {100 * (ratio - 1):.1f}% on the FIG1 micro-loop "
+        f"(limit {100 * (LIMIT - 1):.0f}%)"
+    )
+
+
+def test_null_attach_leaves_hot_path_untouched():
+    """The structural facts the timing guard rests on."""
+    db = make_scheduler("vc-2pl")
+    handle = attach_tracer(db, NULL_TRACER)
+    assert db.vc._observers == []  # no observer => vc_* calls do zero extra work
+    assert db.counters.tracer is NULL_TRACER
+    assert db.locks.tracer is NULL_TRACER
+    assert NULL_TRACER.enabled is False  # every emit site guards on this
+    handle.detach()
