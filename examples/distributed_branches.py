@@ -95,12 +95,12 @@ def run_distributed_mv2pl() -> dict:
         dst = account(2, rng.randrange(ACCOUNTS_PER_BRANCH))
         t = db.begin()
         fa, fb = db.read(t, src), db.read(t, dst)
-        courier.pump(channel="default")
+        courier.pump(channel="data")
         db.write(t, src, fa.result() - 10)
         db.write(t, dst, fb.result() + 10)
-        courier.pump(channel="default")
+        courier.pump(channel="data")
         db.commit(t)
-        courier.pump(channel="default")
+        courier.pump(channel="2pc")
         # Now the audit's remaining fetches arrive: the torn window closed.
         courier.pump(channel="snapshot")
         reads = [db.read(audit, key) for key in all_accounts()]

@@ -34,12 +34,24 @@ from repro.core import (
 )
 from repro.errors import (
     AbortReason,
+    CorruptLogError,
     DeadlockError,
     ProtocolError,
     ReproError,
+    SiteUnavailable,
     TransactionAborted,
     ValidationError,
     VersionNotFound,
+)
+from repro.faults import (
+    FaultInvariantChecker,
+    FaultSchedule,
+    FaultSpec,
+    FaultyCourier,
+    PartitionWindow,
+    RetryPolicy,
+    run_campaign,
+    run_drill,
 )
 from repro.histories import (
     History,
@@ -71,11 +83,19 @@ __all__ = [
     "AbortReason",
     "AdaptiveVCScheduler",
     "ConsoleSummaryExporter",
+    "CorruptLogError",
+    "SiteUnavailable",
     "Database",
     "RecoverableVC2PLScheduler",
     "DeadlockError",
+    "FaultInvariantChecker",
+    "FaultSchedule",
+    "FaultSpec",
+    "FaultyCourier",
     "GarbageCollector",
     "History",
+    "PartitionWindow",
+    "RetryPolicy",
     "JsonlExporter",
     "MVStore",
     "MetricsRegistry",
@@ -105,4 +125,6 @@ __all__ = [
     "attach_tracer",
     "check_one_copy_serializable",
     "is_one_copy_serializable",
+    "run_campaign",
+    "run_drill",
 ]

@@ -11,7 +11,11 @@ Commands:
   and verify one-copy serializability plus the read-only guarantees;
 * ``trace <file.jsonl>`` — analyze a JSONL trace written by
   :class:`repro.obs.JsonlExporter`: per-transaction timelines, blocking
-  chains, visibility-lag trajectory (see ``docs/observability.md``).
+  chains, visibility-lag trajectory (see ``docs/observability.md``);
+* ``drill [--seeds N ...]`` — seeded fault-injection campaigns over the
+  distributed protocols: lossy/duplicating/partitioned network plus site
+  crash-restarts, with the paper's invariants checked throughout (see
+  ``docs/faults.md``).
 """
 
 from __future__ import annotations
@@ -81,6 +85,12 @@ def cmd_trace(args: list[str]) -> int:
     return trace_main(args)
 
 
+def cmd_drill(args: list[str]) -> int:
+    from repro.faults.drill import main as drill_main
+
+    return drill_main(args)
+
+
 def cmd_selfcheck(protocol: str = "vc-2pl") -> int:
     from repro.bench.runner import SimConfig, run_simulation
     from repro.protocols.registry import make_scheduler
@@ -116,7 +126,12 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_selfcheck(*rest[:1])
     if command == "trace":
         return cmd_trace(rest)
-    print(f"unknown command {command!r}; try: list, demo, report, selfcheck, trace")
+    if command == "drill":
+        return cmd_drill(rest)
+    print(
+        f"unknown command {command!r}; "
+        "try: list, demo, report, selfcheck, trace, drill"
+    )
     return 2
 
 

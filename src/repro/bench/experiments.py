@@ -387,10 +387,10 @@ def exp_j_distributed(seed: int = 0, rounds: int = 40) -> ExperimentResult:
             t = db.begin()
             fa = db.write(t, "s1:a", i)
             fb = db.write(t, "s2:b", i)
-            courier.pump(channel="default")
+            courier.pump(channel="data")
             fa.result(), fb.result()
             done = db.commit(t)
-            courier.pump(channel="default")
+            courier.pump(channel="2pc")
             assert done.done
             if ro is not None:
                 courier.pump(channel="snapshot")  # late half of the snapshot

@@ -267,6 +267,34 @@ class LockManager:
                 ):
                     self.waits_for.add(request.txn_id, queued.txn_id)
 
+    # -- crash -----------------------------------------------------------------------
+
+    def crash(self, error_for: Callable[[int], BaseException]) -> list[int]:
+        """Fail-stop this manager: all lock state vanishes, waiters fail.
+
+        Lock tables are volatile, so a site crash simply forgets who held
+        what — but every *pending* request's future must fail (with
+        ``error_for(txn_id)``) or the requester would wait forever on a
+        grant that can no longer happen.  Waits-for edges of the failed
+        waiters are removed from the (possibly shared) graph.  Returns the
+        transaction ids whose pending requests were failed.
+        """
+        failed_waiters: list[int] = []
+        pending: list[_Request] = []
+        for state in self._table.values():
+            pending.extend(state.queue)
+        self._table.clear()
+        self._held_keys.clear()
+        self._pending_key.clear()
+        for request in pending:
+            self.waits_for.remove_waiter(request.txn_id)
+            failed_waiters.append(request.txn_id)
+        if self.tracer.enabled and pending:
+            self.tracer.emit("lock.crash", failed_waiters=failed_waiters)
+        for request in pending:
+            request.future.fail(error_for(request.txn_id))
+        return failed_waiters
+
     # -- deadlock ---------------------------------------------------------------------
 
     def _detect(self, requester: int) -> None:

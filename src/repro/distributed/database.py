@@ -1,10 +1,11 @@
 """Distributed version control with two-phase locking — paper Section 6 / ref [3].
 
 A :class:`DistributedVCDatabase` is a set of sites, each owning a partition
-of the keys, a strict lock manager, a multiversion store, and a
-:class:`~repro.distributed.dvc.DistributedVersionControl` module.  One shared
-history recorder collects the *global* multiversion history so the oracle can
-check global one-copy serializability.
+of the keys, a strict lock manager, a multiversion store, a
+:class:`~repro.distributed.dvc.DistributedVersionControl` module, and a
+per-site :class:`~repro.storage.wal.WriteAheadLog`.  One shared history
+recorder collects the *global* multiversion history so the oracle can check
+global one-copy serializability.
 
 **Read-write transactions** run distributed strict 2PL: operations acquire
 locks at the owning site; commit runs two-phase commit in which the prepare
@@ -14,8 +15,10 @@ round doubles as transaction-number agreement:
    *held* local number (``DistributedVersionControl.hold``);
 2. the coordinator decides ``tn = max(holds)`` — admissible at every site —
    and sends COMMIT(tn);
-3. each participant adopts the number, installs its staged writes as
-   versions numbered ``tn``, releases its locks, and completes its VC entry.
+3. each participant forces a WAL record of its writes under ``tn`` (the
+   site-local durability point), adopts the number, installs the staged
+   writes as versions numbered ``tn``, releases its locks, and completes
+   its VC entry.
 
 **Read-only transactions** obtain a single global start number — their
 origin site's ``vtnc`` — and read at any site, *waiting on version-control
@@ -25,29 +28,86 @@ the read sites is needed (contrast: ref [8]'s distributed MV2PL,
 reproduced in :mod:`repro.distributed.dmv2pl`), no locks are taken, and
 global serializability at the start number is guaranteed — verified by the
 oracle in tests and experiment EXP-J.
+
+**Fault tolerance** (the ``repro.faults`` drills exercise all of it):
+
+* every message handler is *idempotent*, so duplicated or retransmitted
+  courier deliveries are harmless;
+* a configurable ``prepare_timeout`` lets the coordinator abort a 2PC that
+  cannot gather its holds (site slow, channel partitioned) instead of
+  blocking forever — safe because the timeout only fires before the
+  decision point;
+* :meth:`crash_site` fail-stops a site (volatile WAL tail, lock tables,
+  and VC queue vanish; lock waiters and pre-decision transactions abort
+  with ``SITE_FAILURE``), and :meth:`recover_site` rebuilds it by WAL
+  replay — re-creating *held* VC entries for transactions that passed the
+  2PC decision point so visibility cannot leap over their still-in-flight
+  commits.  :meth:`crash_restart_site` combines both for drills.
 """
 
 from __future__ import annotations
 
 import zlib
 
-from typing import Any, Hashable, Iterable
+from typing import Any, Callable, Hashable, Iterable
 
 from repro.cc.deadlock import WaitsForGraph
 from repro.cc.lock_manager import LockManager
 from repro.cc.locks import LockMode
-from repro.core.futures import OpFuture, resolved
+from repro.core.futures import OpFuture
 from repro.core.interface import SchedulerCounters
 from repro.core.transaction import Transaction, TxnClass
 from repro.distributed.courier import Courier
 from repro.distributed.dvc import DistributedVersionControl
-from repro.errors import AbortReason, DeadlockError, ProtocolError, TransactionAborted
+from repro.errors import (
+    AbortReason,
+    ProtocolError,
+    TransactionAborted,
+    VersionNotFound,
+)
 from repro.histories.recorder import HistoryRecorder
 from repro.storage.mvstore import MVStore
+from repro.storage.wal import (
+    LogRecord,
+    RecordKind,
+    WriteAheadLog,
+    validate_durable,
+)
+
+
+def replay_site_log(wal: WriteAheadLog) -> tuple[MVStore, list[int]]:
+    """Rebuild one site's store from its durable WAL.
+
+    Returns the store and the sorted list of committed transaction numbers
+    found in the log.  Uncommitted WRITE records (no durable COMMIT) are
+    skipped; a torn tail is the durable boundary; a malformed mid-log
+    record raises :class:`~repro.errors.CorruptLogError` (via
+    :func:`~repro.storage.wal.validate_durable`).
+    """
+    records = validate_durable(wal)
+    writes: dict[int, list[tuple[Hashable, Any]]] = {}
+    committed: dict[int, int] = {}
+    for record in records:
+        if record.kind is RecordKind.WRITE:
+            writes.setdefault(record.txn_id, []).append((record.key, record.value))
+        elif record.kind is RecordKind.COMMIT:
+            committed[record.txn_id] = record.tn  # type: ignore[assignment]
+    store = MVStore()
+    for txn_id, tn in sorted(committed.items(), key=lambda item: item[1]):
+        for key, value in writes.get(txn_id, ()):
+            obj = store.object(key)
+            existing = obj.find(tn)
+            if existing is None:
+                store.install(key, tn, value)
+            else:
+                existing.value = value
+        # A committed transaction with no writes at this site can occur when
+        # it only read here; nothing to install.
+    return store, sorted(committed.values())
 
 
 class Site:
-    """One database site: partition store + locks + version control."""
+    """One database site: partition store + locks + version control + WAL."""
 
     def __init__(self, site_id: int, checked: bool = True, waits_for=None):
         self.site_id = site_id
@@ -55,9 +115,37 @@ class Site:
         # Victim policy must stay "requester" with a shared waits-for graph.
         self.locks = LockManager(waits_for=waits_for)
         self.vc = DistributedVersionControl(site_id, checked=checked)
+        self.wal = WriteAheadLog()
+        self.checked = checked
+        self._waits_for = waits_for
+        #: True between crash() and recover(): messages park, operations wait.
+        self.crashed = False
+        #: Bumped on every crash — invariant checkers track visibility
+        #: monotonicity *within* an incarnation (a restart may lawfully
+        #: re-open visibility at the durable frontier, below a fast-forwarded
+        #: pre-crash value).
+        self.incarnation = 0
         #: Read-only waits parked on this site's visibility: (sn, future).
         self._visibility_waiters: list[tuple[int, OpFuture]] = []
+        #: Messages that arrived while the site was down; recovery replays
+        #: them (the network redelivers once the node is reachable again).
+        self._parked: list[Callable[[], None]] = []
         self.vc.subscribe(self._on_advance)
+
+    # -- message arrival ---------------------------------------------------------
+
+    def receive(self, fn: Callable[[], None]) -> None:
+        """Run a delivered message, or park it while the site is down."""
+        if self.crashed:
+            self._parked.append(fn)
+        else:
+            fn()
+
+    def drain_parked(self) -> list[Callable[[], None]]:
+        parked, self._parked = self._parked, []
+        return parked
+
+    # -- visibility waits ---------------------------------------------------------
 
     def wait_visible(self, sn: int) -> OpFuture:
         """Future resolving once this site's visibility covers ``sn``."""
@@ -72,13 +160,66 @@ class Site:
         if not self._visibility_waiters:
             return
         ready = [(sn, f) for sn, f in self._visibility_waiters if vtnc >= sn]
-        if not ready:
+        if ready:
+            self._visibility_waiters = [
+                (sn, f) for sn, f in self._visibility_waiters if vtnc < sn
+            ]
+            for _, future in ready:
+                future.resolve(None)
+        if self._visibility_waiters and self.vc.queue_length() == 0:
+            # The advance drained the queue but stopped at this site's own
+            # idle frontier, below a waiter's start number drawn from a
+            # busier site.  An idle site may fast-forward (try_advance_to),
+            # and nothing else will ever retry it for a parked waiter.
+            self.vc.try_advance_to(max(sn for sn, _ in self._visibility_waiters))
+
+    def reevaluate_waiters(self) -> None:
+        """Re-check parked visibility waits against a recovered VC module."""
+        if not self._visibility_waiters:
             return
-        self._visibility_waiters = [
-            (sn, f) for sn, f in self._visibility_waiters if vtnc < sn
-        ]
-        for _, future in ready:
-            future.resolve(None)
+        self._on_advance(self.vc.vtnc)
+        if self._visibility_waiters:
+            # An idle recovered site may fast-forward; a site with restored
+            # holds correctly refuses until those commits arrive.
+            self.vc.try_advance_to(max(sn for sn, _ in self._visibility_waiters))
+
+    # -- crash / recovery ----------------------------------------------------------
+
+    def crash(self) -> int:
+        """Fail-stop: volatile WAL tail, lock tables, and VC queue are lost.
+
+        Pending lock requests fail with ``SITE_FAILURE`` aborts (their
+        holders' callbacks run the abort path).  Returns the number of WAL
+        records lost.  The site refuses work until :meth:`recover`.
+        """
+        lost = self.wal.crash()
+        self.crashed = True
+        self.incarnation += 1
+
+        def error_for(txn_id: int) -> TransactionAborted:
+            return TransactionAborted(
+                txn_id,
+                AbortReason.SITE_FAILURE,
+                detail=f"site {self.site_id} crashed",
+            )
+
+        self.locks.crash(error_for)
+        return lost
+
+    def recover(self) -> None:
+        """Rebuild store and VC module from the durable WAL.
+
+        The caller (:meth:`DistributedVCDatabase.recover_site`) is
+        responsible for counter resynchronization, hold restoration, and
+        visibility re-advancement — those need database-global knowledge.
+        """
+        store, committed = replay_site_log(self.wal)
+        self.store = store
+        self.locks = LockManager(waits_for=self._waits_for)
+        self.vc = DistributedVersionControl(self.site_id, checked=self.checked)
+        self.vc.subscribe(self._on_advance)
+        for tn in committed:
+            self.vc.observe(tn)
 
 
 class DistributedVCDatabase:
@@ -91,6 +232,7 @@ class DistributedVCDatabase:
         n_sites: int = 3,
         courier: Courier | None = None,
         checked: bool = True,
+        prepare_timeout: float | None = None,
     ):
         if n_sites < 1:
             raise ValueError("n_sites must be >= 1")
@@ -104,6 +246,11 @@ class DistributedVCDatabase:
         self.courier = courier if courier is not None else Courier()
         self.recorder = HistoryRecorder()
         self.counters = SchedulerCounters()
+        #: Coordinator-side timeout for the 2PC prepare round; None = wait
+        #: forever.  Only effective when the courier has a clock (sim mode).
+        self.prepare_timeout = prepare_timeout
+        #: Active read-write transactions, for crash handling.
+        self._active: dict[int, Transaction] = {}
 
     # -- placement -----------------------------------------------------------------
 
@@ -117,6 +264,10 @@ class DistributedVCDatabase:
                     return self.sites[sid]
         sid = (zlib.crc32(str(key).encode()) % len(self.sites)) + 1
         return self.sites[sid]
+
+    def _send(self, site: Site, fn: Callable[[], None], channel: str) -> None:
+        """Dispatch a message to ``site``; parks if the site is down."""
+        self.courier.dispatch(lambda: site.receive(fn), channel=channel)
 
     # -- transactions -----------------------------------------------------------------
 
@@ -151,7 +302,13 @@ class DistributedVCDatabase:
             self.counters.note_vc_interaction(txn, "start")
         else:
             txn.meta["participants"] = set()
+            self._active[txn.txn_id] = txn
         return txn
+
+    def _track_op(self, txn: Transaction, result: OpFuture) -> None:
+        """Remember the one in-flight operation so fault aborts can fail it."""
+        txn.meta["pending_op"] = result
+        result.add_callback(lambda _f: txn.meta.pop("pending_op", None))
 
     # -- read-only path ------------------------------------------------------------------
 
@@ -160,19 +317,30 @@ class DistributedVCDatabase:
         result = OpFuture(label=f"r{txn.txn_id}[{key}]@s{site.site_id}")
         assert txn.sn is not None
         sn = int(txn.sn)
+        started = False
 
         def deliver() -> None:
+            nonlocal started
+            if started:  # duplicated delivery
+                return
+            started = True
             visible = site.wait_visible(sn)
 
             def ready(_f: OpFuture) -> None:
-                version = site.store.read_snapshot(key, sn)
+                if not result.pending:
+                    return
+                try:
+                    version = site.store.read_snapshot(key, sn)
+                except VersionNotFound as exc:
+                    result.fail(exc)
+                    return
                 txn.record_read(key, version.tn)
                 self.recorder.record_read(txn, key, version.tn)
                 result.resolve(version.value)
 
             visible.add_callback(ready)
 
-        self.courier.dispatch(deliver)
+        self._send(site, deliver, channel="read")
         return result
 
     # -- read-write path -------------------------------------------------------------------
@@ -185,13 +353,21 @@ class DistributedVCDatabase:
         txn.meta["participants"].add(site.site_id)
         self.counters.note_cc_interaction(txn, "r-lock")
         result = OpFuture(label=f"r{txn.txn_id}[{key}]@s{site.site_id}")
+        self._track_op(txn, result)
+        started = False
 
         def deliver() -> None:
+            nonlocal started
+            if started or not txn.is_active or result.done:
+                return
+            started = True
             lock = site.locks.acquire(txn.txn_id, key, LockMode.SHARED)
 
             def locked(done: OpFuture) -> None:
                 if done.failed:
-                    self._deadlock_abort(txn, done.error, result)
+                    self._failure_abort(txn, done.error, result)
+                    return
+                if result.done:  # fault abort raced the grant
                     return
                 if key in txn.write_set:
                     txn.record_read(key, -1)
@@ -205,7 +381,7 @@ class DistributedVCDatabase:
 
             lock.add_callback(locked)
 
-        self.courier.dispatch(deliver)
+        self._send(site, deliver, channel="data")
         return result
 
     def write(self, txn: Transaction, key: Hashable, value: Any) -> OpFuture:
@@ -216,13 +392,21 @@ class DistributedVCDatabase:
         txn.meta["participants"].add(site.site_id)
         self.counters.note_cc_interaction(txn, "w-lock")
         result = OpFuture(label=f"w{txn.txn_id}[{key}]@s{site.site_id}")
+        self._track_op(txn, result)
+        started = False
 
         def deliver() -> None:
+            nonlocal started
+            if started or not txn.is_active or result.done:
+                return
+            started = True
             lock = site.locks.acquire(txn.txn_id, key, LockMode.EXCLUSIVE)
 
             def locked(done: OpFuture) -> None:
                 if done.failed:
-                    self._deadlock_abort(txn, done.error, result)
+                    self._failure_abort(txn, done.error, result)
+                    return
+                if result.done:  # fault abort raced the grant
                     return
                 txn.record_write(key, value)
                 self.recorder.record_write(txn, key)
@@ -230,7 +414,7 @@ class DistributedVCDatabase:
 
             lock.add_callback(locked)
 
-        self.courier.dispatch(deliver)
+        self._send(site, deliver, channel="data")
         return result
 
     # -- termination ----------------------------------------------------------------------
@@ -248,6 +432,7 @@ class DistributedVCDatabase:
         if not participants:
             # Touched nothing: commit trivially with a number from site 1.
             participants = [next(iter(self.sites))]
+        txn.meta["commit_future"] = result
         self._two_phase_commit(txn, list(participants), result)
         return result
 
@@ -256,8 +441,11 @@ class DistributedVCDatabase:
         remaining = set(participants)
 
         def prepare_at(sid: int) -> None:
+            if txn.is_finished or sid not in remaining:
+                return  # aborted meanwhile, or duplicated delivery
             site = self.sites[sid]
-            holds[sid] = site.vc.hold(txn.txn_id)
+            if not site.vc.is_registered(txn.txn_id):
+                holds[sid] = site.vc.hold(txn.txn_id)
             remaining.discard(sid)
             if not remaining:
                 decide()
@@ -266,48 +454,224 @@ class DistributedVCDatabase:
             tn = max(holds.values())
             txn.tn = tn
             acks = set(participants)
+            txn.meta["unacked"] = acks  # shared with crash recovery
 
-            def commit_at(sid: int) -> None:
+            def commit_at(sid: int) -> None:  # idempotent: guarded by acks
+                if sid not in acks:  # duplicated delivery, or already applied
+                    return
                 site = self.sites[sid]
-                site.vc.adopt(txn.txn_id, tn)
-                for key, value in txn.write_set.items():
-                    if self.site_of_key(key) is site:
+                site_items = [
+                    (key, value)
+                    for key, value in txn.write_set.items()
+                    if self.site_of_key(key) is site
+                ]
+                # Durability first: force the WAL before installing or
+                # acking, so a later crash of this site replays the commit.
+                for key, value in site_items:
+                    site.wal.append(
+                        LogRecord(RecordKind.WRITE, txn.txn_id, key=key, value=value)
+                    )
+                site.wal.append(LogRecord(RecordKind.COMMIT, txn.txn_id, tn=tn))
+                site.wal.force()
+                if site.vc.is_registered(txn.txn_id):
+                    site.vc.adopt(txn.txn_id, tn)
+                else:
+                    # The site crashed after preparing and its hold was not
+                    # restorable (it had already been applied elsewhere or
+                    # visibility moved on); numbering must still stay above.
+                    site.vc.observe(tn)
+                for key, value in site_items:
+                    existing = site.store.object(key).find(tn)
+                    if existing is None:
                         site.store.install(key, tn, value)
+                    else:  # replayed by recovery before this delivery
+                        existing.value = value
                 site.locks.release_all(txn.txn_id)
-                site.vc.complete(txn.txn_id)
+                if site.vc.is_registered(txn.txn_id):
+                    site.vc.complete(txn.txn_id)
                 acks.discard(sid)
                 if not acks:
+                    self._active.pop(txn.txn_id, None)
                     txn.mark_committed()
                     self.counters.note_commit(txn)
                     self.recorder.record_commit(txn)
                     result.resolve(None)
 
+            txn.meta["apply_commit"] = commit_at
             for sid in participants:
-                self.courier.dispatch(lambda s=sid: commit_at(s))
+                self._send(self.sites[sid], lambda s=sid: commit_at(s), channel="2pc")
 
         for sid in participants:
-            self.courier.dispatch(lambda s=sid: prepare_at(s))
+            self._send(self.sites[sid], lambda s=sid: prepare_at(s), channel="2pc")
+
+        if self.prepare_timeout is not None:
+
+            def on_timeout() -> None:
+                if txn.is_active and txn.tn is None:
+                    # Still pre-decision: abort is safe (no site installed
+                    # anything; holds are discarded by the abort path).
+                    self.counters.bump("2pc.prepare_timeouts")
+                    self._fault_abort(
+                        txn,
+                        AbortReason.COORDINATOR_ABORT,
+                        detail=f"2PC prepare timed out after {self.prepare_timeout}",
+                    )
+
+            self.courier.call_later(self.prepare_timeout, on_timeout)
 
     def abort(self, txn: Transaction, reason: AbortReason = AbortReason.USER_REQUESTED) -> None:
         if txn.is_finished:
             return
         if txn.is_read_write:
+            self._active.pop(txn.txn_id, None)
             for sid in txn.meta.get("participants", ()):
                 site = self.sites[sid]
                 if site.vc.is_registered(txn.txn_id):
                     site.vc.discard(txn.txn_id)
+                    # A discard can empty the queue without advancing vtnc
+                    # (no observer fires); parked visibility waits must then
+                    # retry the idle fast-forward themselves.
+                    site.reevaluate_waiters()
                 site.locks.release_all(txn.txn_id)
         txn.mark_aborted(reason)
         self.counters.note_abort(txn, reason, caused_by_readonly=False)
         self.recorder.record_abort(txn)
 
-    def _deadlock_abort(self, txn: Transaction, error: BaseException | None, result: OpFuture) -> None:
-        assert isinstance(error, DeadlockError)
+    def _failure_abort(
+        self, txn: Transaction, error: BaseException | None, result: OpFuture
+    ) -> None:
+        """An operation's lock request failed: deadlock victim or site crash."""
+        assert isinstance(error, TransactionAborted)
         if txn.is_active:
-            self.abort(txn, AbortReason.DEADLOCK_VICTIM)
-        result.fail(error)
+            self.abort(txn, error.reason)
+        if result.pending:
+            result.fail(error)
+
+    def _fault_abort(self, txn: Transaction, reason: AbortReason, detail: str = "") -> None:
+        """Abort a transaction from the fault path, failing its open futures.
+
+        Without this, a client suspended on an operation or commit future
+        whose messages died with a site would wait forever.
+        """
+        if txn.is_finished:
+            return
+        error = TransactionAborted(txn.txn_id, reason, detail=detail)
+        self.abort(txn, reason)
+        for slot in ("pending_op", "commit_future"):
+            future = txn.meta.get(slot)
+            if future is not None and future.pending:
+                future.fail(error)
+
+    # -- crash / recovery -------------------------------------------------------------
+
+    def crash_site(self, site_id: int) -> int:
+        """Fail-stop one site; returns the count of WAL records lost.
+
+        Every active transaction that touched the site and has *not* passed
+        the 2PC decision point aborts with ``SITE_FAILURE`` — its locks and
+        held numbers there are gone, so it can never commit correctly.
+        Transactions *past* the decision point are not aborted: 2PC has
+        promised their commit, and recovery restores their visibility
+        blocks so the promise is kept.
+        """
+        site = self.sites[site_id]
+        lost = site.wal.crash()
+        site.crashed = True
+        site.incarnation += 1
+        if self.courier.tracer.enabled:
+            self.courier.tracer.emit(
+                "fault.crash", site=site_id, lost_records=lost,
+                incarnation=site.incarnation,
+            )
+
+        def error_for(txn_id: int) -> TransactionAborted:
+            return TransactionAborted(
+                txn_id, AbortReason.SITE_FAILURE, detail=f"site {site_id} crashed"
+            )
+
+        # Fail lock waiters BEFORE aborting lock holders: an abort releases
+        # the holder's locks, and a release against a half-crashed table
+        # could grant a queued request that the crash is about to erase.
+        site.locks.crash(error_for)
+        for txn in list(self._active.values()):
+            if site_id in txn.meta.get("participants", ()) and txn.tn is None:
+                self._fault_abort(
+                    txn,
+                    AbortReason.SITE_FAILURE,
+                    detail=f"site {site_id} crashed before the commit decision",
+                )
+        return lost
+
+    def recover_site(self, site_id: int) -> None:
+        """Restart a crashed site from its durable WAL.
+
+        Recovery rebuilds the store by replay, then resynchronizes the VC
+        counter above every transaction number known anywhere (stores,
+        in-flight decisions) so the restarted site can never re-issue a
+        number attached to existing versions, restores *held* entries for
+        decided-but-unapplied transactions, and finally re-advances
+        visibility to the durable committed frontier.  Messages that
+        arrived during the outage are then redelivered.
+        """
+        site = self.sites[site_id]
+        if not site.crashed:
+            raise ProtocolError(f"site {site_id} is not crashed")
+        site.recover()
+        # Counter resync: observe every number durably attached to versions
+        # anywhere plus every in-flight decided number.
+        max_committed = 0
+        for other in self.sites.values():
+            for key in other.store.keys():
+                for version in other.store.object(key).versions():
+                    if version.tn:
+                        site.vc.observe(version.tn)
+                        if other is site and version.tn > max_committed:
+                            max_committed = version.tn
+        for txn in self._active.values():
+            if txn.tn is not None:
+                site.vc.observe(txn.tn)
+        # In-doubt commits: transactions past the 2PC decision point whose
+        # COMMIT has not yet been applied here are applied *now* (presumed
+        # commit — the restarting site asks the coordinator for outcomes),
+        # before the site accepts new lock requests.  Without this, the
+        # crash-erased lock table would let another transaction read or
+        # overwrite the in-doubt keys ahead of the still-in-flight COMMIT;
+        # its later delivery is a no-op thanks to the ``acks`` guard.  When
+        # the application closure is unavailable, fall back to restoring
+        # the hold so visibility at least keeps blocking below the decided
+        # number until the retransmitted COMMIT lands.
+        for txn in list(self._active.values()):
+            if txn.tn is None or site_id not in txn.meta.get("unacked", ()):
+                continue
+            apply_commit = txn.meta.get("apply_commit")
+            if apply_commit is not None:
+                apply_commit(site_id)
+                if txn.tn > max_committed:
+                    max_committed = txn.tn
+            elif txn.tn > site.vc.vtnc:
+                site.vc.restore_hold(txn.txn_id, txn.tn)
+        if max_committed:
+            site.vc.try_advance_to(max_committed)
+        site.crashed = False
+        if self.courier.tracer.enabled:
+            self.courier.tracer.emit(
+                "fault.recover", site=site_id, vtnc=site.vc.vtnc,
+                incarnation=site.incarnation,
+            )
+        for fn in site.drain_parked():
+            fn()
+        site.reevaluate_waiters()
+
+    def crash_restart_site(self, site_id: int) -> int:
+        """Atomic crash + WAL-replay restart (the drill's fault primitive)."""
+        lost = self.crash_site(site_id)
+        self.recover_site(site_id)
+        return lost
 
     # -- inspection -----------------------------------------------------------------------
+
+    def active_transactions(self) -> list[Transaction]:
+        return list(self._active.values())
 
     @property
     def history(self):

@@ -21,13 +21,26 @@ counters and CTL appends under two-phase commit (no transaction-number
 agreement — each site numbers the commit locally, which is the root of the
 anomaly).  Version numbers are per-site local counters mapped into the
 global number space by site for uniqueness.
+
+**Fault tolerance** (shared with :mod:`repro.distributed.database`, so the
+``repro.faults`` drills can exercise both protocols): message handlers are
+idempotent under duplicated delivery; each site forces a WAL record of a
+transaction's local writes before installing them or acking, making commit
+application replayable; :meth:`crash_site` / :meth:`recover_site` model
+fail-stop with WAL-replay restart — the recovered commit counter restarts
+above every durable local number, the CTL is rebuilt from durable COMMIT
+records, and messages that arrived during the outage are redelivered.
+Active transactions that touched a crashed site abort with
+``SITE_FAILURE`` unless they had already entered commit, in which case
+their parked commit messages apply after recovery (forced-before-ack makes
+this exactly-once).
 """
 
 from __future__ import annotations
 
 import zlib
 
-from typing import Any, Hashable, Iterable
+from typing import Any, Callable, Hashable, Iterable
 
 from repro.cc.deadlock import WaitsForGraph
 from repro.cc.lock_manager import LockManager
@@ -36,19 +49,25 @@ from repro.core.futures import OpFuture
 from repro.core.interface import SchedulerCounters
 from repro.core.transaction import Transaction, TxnClass
 from repro.distributed.courier import Courier
-from repro.distributed.gtn import make_gtn
+from repro.distributed.gtn import make_gtn, max_counter, site_of
 from repro.errors import (
     AbortReason,
-    DeadlockError,
     ProtocolError,
+    TransactionAborted,
     VersionNotFound,
 )
 from repro.histories.recorder import HistoryRecorder
 from repro.storage.mvstore import MVStore
+from repro.storage.wal import (
+    LogRecord,
+    RecordKind,
+    WriteAheadLog,
+    validate_durable,
+)
 
 
 class _ChanSite:
-    """One site: store, locks, local commit counter, local CTL."""
+    """One site: store, locks, local commit counter, local CTL, WAL."""
 
     def __init__(self, site_id: int, waits_for: WaitsForGraph):
         self.site_id = site_id
@@ -56,11 +75,61 @@ class _ChanSite:
         self.locks = LockManager(waits_for=waits_for)
         self.commit_counter = 0
         self.ctl: set[int] = {0}
+        self.wal = WriteAheadLog()
+        self._waits_for = waits_for
+        self.crashed = False
+        self.incarnation = 0
+        self._parked: list[Callable[[], None]] = []
 
     def next_commit_number(self) -> int:
         """Local commit number mapped into the global space for uniqueness."""
         self.commit_counter += 1
         return make_gtn(self.commit_counter, self.site_id)
+
+    def receive(self, fn: Callable[[], None]) -> None:
+        """Run a delivered message, or park it while the site is down."""
+        if self.crashed:
+            self._parked.append(fn)
+        else:
+            fn()
+
+    def drain_parked(self) -> list[Callable[[], None]]:
+        parked, self._parked = self._parked, []
+        return parked
+
+    def crash(self, error_for: Callable[[int], BaseException]) -> int:
+        """Fail-stop: volatile WAL tail, lock tables, store, and CTL vanish."""
+        lost = self.wal.crash()
+        self.crashed = True
+        self.incarnation += 1
+        self.locks.crash(error_for)
+        return lost
+
+    def recover(self) -> None:
+        """Rebuild store, CTL, and commit counter from the durable WAL."""
+        records = validate_durable(self.wal)
+        writes: dict[int, list[tuple[Hashable, Any]]] = {}
+        committed: dict[int, int] = {}
+        for record in records:
+            if record.kind is RecordKind.WRITE:
+                writes.setdefault(record.txn_id, []).append(
+                    (record.key, record.value)
+                )
+            elif record.kind is RecordKind.COMMIT:
+                committed[record.txn_id] = record.tn  # type: ignore[assignment]
+        self.store = MVStore()
+        self.ctl = {0}
+        for txn_id, local_tn in sorted(committed.items(), key=lambda kv: kv[1]):
+            for key, value in writes.get(txn_id, ()):
+                self.store.install(key, local_tn, value)
+            self.ctl.add(local_tn)
+        # Restart the counter above every durable local number so the site
+        # never re-issues a number already attached to installed versions.
+        self.commit_counter = max_counter(
+            tn for tn in committed.values() if site_of(tn) == self.site_id
+        )
+        self.locks = LockManager(waits_for=self._waits_for)
+        self.crashed = False
 
 
 class DistributedMV2PL:
@@ -83,6 +152,8 @@ class DistributedMV2PL:
         # so the recorded global history references writers consistently.
         self._ident_counter = 0
         self._ident_of_version: dict[int, int] = {}
+        #: Active read-write transactions, for crash handling.
+        self._active: dict[int, Transaction] = {}
 
     def _next_ident(self) -> int:
         self._ident_counter += 1
@@ -98,6 +169,9 @@ class DistributedMV2PL:
             if prefix.isdigit() and int(prefix) in self.sites:
                 return self.sites[int(prefix)]
         return self.sites[(zlib.crc32(str(key).encode()) % len(self.sites)) + 1]
+
+    def _send(self, site: _ChanSite, fn: Callable[[], None], channel: str) -> None:
+        self.courier.dispatch(lambda: site.receive(fn), channel=channel)
 
     # -- transactions -------------------------------------------------------------
 
@@ -130,6 +204,7 @@ class DistributedMV2PL:
             self._fetch_snapshots(txn, sorted(txn.meta["declared"]))
         else:
             txn.meta["participants"] = set()
+            self._active[txn.txn_id] = txn
         return txn
 
     def _fetch_snapshots(self, txn: Transaction, site_ids: list[int]) -> None:
@@ -141,11 +216,15 @@ class DistributedMV2PL:
 
         def fetch_next() -> None:
             if not pending:
-                txn.meta["snapshot_ready"].resolve(None)
+                ready = txn.meta["snapshot_ready"]
+                if ready.pending:
+                    ready.resolve(None)
                 return
             sid = pending.pop(0)
 
             def deliver() -> None:
+                if sid in txn.meta["start_ts"]:  # duplicated delivery
+                    return
                 site = self.sites[sid]
                 txn.meta["start_ts"][sid] = make_gtn(site.commit_counter + 1, sid)
                 txn.meta["ctl_copy"][sid] = set(site.ctl)
@@ -153,7 +232,7 @@ class DistributedMV2PL:
                 self.counters.bump("ctl.copied_entries", len(site.ctl))
                 fetch_next()
 
-            self.courier.dispatch(deliver, channel="snapshot")
+            self._send(self.sites[sid], deliver, channel="snapshot")
 
         fetch_next()
 
@@ -170,6 +249,8 @@ class DistributedMV2PL:
 
         def ready(_f: OpFuture) -> None:
             def deliver() -> None:
+                if not result.pending:  # duplicated delivery
+                    return
                 start_ts = txn.meta["start_ts"][site.site_id]
                 ctl_copy = txn.meta["ctl_copy"][site.site_id]
                 candidates = [v for v in site.store.object(key).versions() if v.tn < start_ts]
@@ -183,12 +264,16 @@ class DistributedMV2PL:
                         return
                 result.fail(VersionNotFound(key, start_ts))  # pragma: no cover
 
-            self.courier.dispatch(deliver)
+            self._send(site, deliver, channel="read")
 
         txn.meta["snapshot_ready"].add_callback(ready)
         return result
 
     # -- read-write path ----------------------------------------------------------------
+
+    def _track_op(self, txn: Transaction, result: OpFuture) -> None:
+        txn.meta["pending_op"] = result
+        result.add_callback(lambda _f: txn.meta.pop("pending_op", None))
 
     def read(self, txn: Transaction, key: Hashable) -> OpFuture:
         txn.require_active()
@@ -198,13 +283,21 @@ class DistributedMV2PL:
         txn.meta["participants"].add(site.site_id)
         self.counters.note_cc_interaction(txn, "r-lock")
         result = OpFuture(label=f"r{txn.txn_id}[{key}]")
+        self._track_op(txn, result)
+        started = False
 
         def deliver() -> None:
+            nonlocal started
+            if started or not txn.is_active or result.done:
+                return
+            started = True
             lock = site.locks.acquire(txn.txn_id, key, LockMode.SHARED)
 
             def locked(done: OpFuture) -> None:
                 if done.failed:
-                    self._deadlock_abort(txn, done.error, result)
+                    self._failure_abort(txn, done.error, result)
+                    return
+                if result.done:  # fault abort raced the grant
                     return
                 if key in txn.write_set:
                     txn.record_read(key, -1)
@@ -219,7 +312,7 @@ class DistributedMV2PL:
 
             lock.add_callback(locked)
 
-        self.courier.dispatch(deliver)
+        self._send(site, deliver, channel="data")
         return result
 
     def write(self, txn: Transaction, key: Hashable, value: Any) -> OpFuture:
@@ -230,13 +323,21 @@ class DistributedMV2PL:
         txn.meta["participants"].add(site.site_id)
         self.counters.note_cc_interaction(txn, "w-lock")
         result = OpFuture(label=f"w{txn.txn_id}[{key}]")
+        self._track_op(txn, result)
+        started = False
 
         def deliver() -> None:
+            nonlocal started
+            if started or not txn.is_active or result.done:
+                return
+            started = True
             lock = site.locks.acquire(txn.txn_id, key, LockMode.EXCLUSIVE)
 
             def locked(done: OpFuture) -> None:
                 if done.failed:
-                    self._deadlock_abort(txn, done.error, result)
+                    self._failure_abort(txn, done.error, result)
+                    return
+                if result.done:  # fault abort raced the grant
                     return
                 txn.record_write(key, value)
                 self.recorder.record_write(txn, key)
@@ -244,7 +345,7 @@ class DistributedMV2PL:
 
             lock.add_callback(locked)
 
-        self.courier.dispatch(deliver)
+        self._send(site, deliver, channel="data")
         return result
 
     # -- termination --------------------------------------------------------------------
@@ -265,27 +366,45 @@ class DistributedMV2PL:
         # version numbers together for history recording only.
         txn.tn = self._next_ident()
         txn.meta["site_numbers"] = {}
+        txn.meta["commit_future"] = result
         acks = set(participants)
+        txn.meta["unacked"] = acks
 
-        def commit_at(sid: int) -> None:
+        def commit_at(sid: int) -> None:  # idempotent: guarded by acks
+            if sid not in acks:  # duplicated delivery, or already applied
+                return
             site = self.sites[sid]
             local_tn = site.next_commit_number()
             txn.meta["site_numbers"][sid] = local_tn
             self._ident_of_version[local_tn] = txn.tn
-            for key, value in txn.write_set.items():
-                if self.site_of_key(key) is site:
-                    site.store.install(key, local_tn, value)
+            site_items = [
+                (key, value)
+                for key, value in txn.write_set.items()
+                if self.site_of_key(key) is site
+            ]
+            # Durability first: force the WAL before installing or acking,
+            # so a later crash of this site replays the local commit.
+            for key, value in site_items:
+                site.wal.append(
+                    LogRecord(RecordKind.WRITE, txn.txn_id, key=key, value=value)
+                )
+            site.wal.append(LogRecord(RecordKind.COMMIT, txn.txn_id, tn=local_tn))
+            site.wal.force()
+            for key, value in site_items:
+                site.store.install(key, local_tn, value)
             site.ctl.add(local_tn)
             site.locks.release_all(txn.txn_id)
             acks.discard(sid)
             if not acks:
+                self._active.pop(txn.txn_id, None)
                 txn.mark_committed()
                 self.counters.note_commit(txn)
                 self.recorder.record_commit(txn)
                 result.resolve(None)
 
+        txn.meta["apply_commit"] = commit_at
         for sid in participants:
-            self.courier.dispatch(lambda s=sid: commit_at(s))
+            self._send(self.sites[sid], lambda s=sid: commit_at(s), channel="2pc")
         return result
 
     def global_version_order(self) -> dict:
@@ -307,17 +426,98 @@ class DistributedMV2PL:
         if txn.is_finished:
             return
         if txn.is_read_write:
+            self._active.pop(txn.txn_id, None)
             for sid in txn.meta.get("participants", ()):
                 self.sites[sid].locks.release_all(txn.txn_id)
         txn.mark_aborted(reason)
         self.counters.note_abort(txn, reason, caused_by_readonly=False)
         self.recorder.record_abort(txn)
 
-    def _deadlock_abort(self, txn: Transaction, error: BaseException | None, result: OpFuture) -> None:
-        assert isinstance(error, DeadlockError)
+    def _failure_abort(self, txn: Transaction, error: BaseException | None, result: OpFuture) -> None:
+        assert isinstance(error, TransactionAborted)
         if txn.is_active:
-            self.abort(txn, AbortReason.DEADLOCK_VICTIM)
-        result.fail(error)
+            self.abort(txn, error.reason)
+        if result.pending:
+            result.fail(error)
+
+    def _fault_abort(self, txn: Transaction, reason: AbortReason, detail: str = "") -> None:
+        if txn.is_finished:
+            return
+        error = TransactionAborted(txn.txn_id, reason, detail=detail)
+        self.abort(txn, reason)
+        for slot in ("pending_op", "commit_future"):
+            future = txn.meta.get(slot)
+            if future is not None and future.pending:
+                future.fail(error)
+
+    # -- crash / recovery -------------------------------------------------------------
+
+    def crash_site(self, site_id: int) -> int:
+        """Fail-stop one site; returns the count of WAL records lost.
+
+        Active transactions that touched the site abort with
+        ``SITE_FAILURE`` — unless they already entered commit (their commit
+        messages park at the dead site and apply after recovery; the
+        forced-before-ack WAL discipline makes the application replayable).
+        """
+        site = self.sites[site_id]
+
+        def error_for(txn_id: int) -> TransactionAborted:
+            return TransactionAborted(
+                txn_id, AbortReason.SITE_FAILURE, detail=f"site {site_id} crashed"
+            )
+
+        lost = site.crash(error_for)
+        if self.courier.tracer.enabled:
+            self.courier.tracer.emit(
+                "fault.crash", site=site_id, lost_records=lost,
+                incarnation=site.incarnation,
+            )
+        for txn in list(self._active.values()):
+            committing = "unacked" in txn.meta
+            if site_id in txn.meta.get("participants", ()) and not committing:
+                self._fault_abort(
+                    txn,
+                    AbortReason.SITE_FAILURE,
+                    detail=f"site {site_id} crashed",
+                )
+        return lost
+
+    def recover_site(self, site_id: int) -> None:
+        """Restart a crashed site from its durable WAL and redeliver.
+
+        In-doubt commits — transactions that entered commit before the
+        crash and have not yet applied here — are applied *during* recovery
+        (presumed commit: the restarting site asks the coordinator for
+        outcomes), before the site accepts any new lock requests.  Without
+        this, the crash-erased lock table would let another transaction
+        read or overwrite the in-doubt keys ahead of the still-in-flight
+        COMMIT, breaking strict-2PL serializability; the later delivery of
+        that message is a no-op thanks to the ``acks`` guard.
+        """
+        site = self.sites[site_id]
+        if not site.crashed:
+            raise ProtocolError(f"site {site_id} is not crashed")
+        site.recover()
+        for txn in list(self._active.values()):
+            if site_id in txn.meta.get("unacked", ()):
+                apply_commit = txn.meta.get("apply_commit")
+                if apply_commit is not None:
+                    apply_commit(site_id)
+        if self.courier.tracer.enabled:
+            self.courier.tracer.emit(
+                "fault.recover", site=site_id,
+                commit_counter=site.commit_counter,
+                incarnation=site.incarnation,
+            )
+        for fn in site.drain_parked():
+            fn()
+
+    def crash_restart_site(self, site_id: int) -> int:
+        """Atomic crash + WAL-replay restart (the drill's fault primitive)."""
+        lost = self.crash_site(site_id)
+        self.recover_site(site_id)
+        return lost
 
     @property
     def history(self):

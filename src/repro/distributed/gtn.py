@@ -32,3 +32,23 @@ def counter_of(gtn: int) -> int:
 def site_of(gtn: int) -> int:
     """The originating site of a global transaction number."""
     return gtn % SITE_SPACE
+
+
+def decompose(gtn: int) -> tuple[int, int]:
+    """The ``(counter, site_id)`` pair behind a global transaction number."""
+    return gtn // SITE_SPACE, gtn % SITE_SPACE
+
+
+def max_counter(gtns) -> int:
+    """Largest counter component over ``gtns`` (0 when empty).
+
+    Crash recovery uses this to restart a site's counter above every number
+    durably recorded anywhere, so a restarted site can never re-issue a
+    transaction number already attached to installed versions.
+    """
+    best = 0
+    for gtn in gtns:
+        counter = gtn // SITE_SPACE
+        if counter > best:
+            best = counter
+    return best

@@ -99,6 +99,34 @@ class VersionNotFound(ReproError):
         super().__init__(f"no version of {key!r} with version number <= {bound}")
 
 
+class CorruptLogError(ReproError):
+    """The write-ahead log contains a malformed record before the tail.
+
+    A *torn tail* — a record only partially written by an interrupted
+    ``force()`` — is an expected crash outcome and recovery simply treats it
+    as the durable boundary.  A malformed record anywhere *before* the tail
+    means the stable medium itself is damaged; recovery cannot silently skip
+    it without risking committed-write loss, so it raises this error with
+    the offending record's index.
+    """
+
+    def __init__(self, index: int, detail: str = ""):
+        self.index = index
+        message = f"corrupt log record at index {index}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class SiteUnavailable(ReproError):
+    """An operation was addressed to a site that is currently crashed.
+
+    Raised by the distributed layer when client code operates on a site
+    between :meth:`crash_site` and :meth:`recover_site` (the drill's
+    combined ``crash_restart_site`` never exposes this window).
+    """
+
+
 class ProtocolError(ReproError):
     """Client code violated the scheduler's usage contract.
 

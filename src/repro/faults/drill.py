@@ -1,0 +1,351 @@
+"""Seeded fault-injection drills over the distributed protocols.
+
+A *drill* runs a randomized multi-client workload against one distributed
+database (``dvc`` — the paper's distributed VC + 2PL — or ``dmv2pl``, the
+ref [8] baseline) on the virtual clock, with a
+:class:`~repro.faults.courier.FaultyCourier` corrupting the network per a
+seeded :class:`~repro.faults.schedule.FaultSchedule` and a crasher process
+fail-stopping random sites (WAL-replay restart).  A
+:class:`~repro.faults.invariants.FaultInvariantChecker` asserts the paper's
+invariants throughout; the :class:`DrillReport` carries the verdict plus
+fault/commit tallies.  Everything — client think times, key choices, fault
+draws, crash times — derives from the master seed, so any failing drill
+replays bit-for-bit from ``(protocol, seed, knobs)``.
+
+``python -m repro drill`` runs campaigns of these (see :func:`main`);
+``run_campaign`` is the library entry point.
+
+DMV2PL drills run read-write clients only: its read-only anomaly (torn
+global reads) is the paper result the protocol exists to demonstrate, not
+a fault-handling bug, so drills assert serializability of the read-write
+subhistory plus durability — the properties crashes and message faults
+could actually break.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.distributed.database import DistributedVCDatabase
+from repro.distributed.dmv2pl import DistributedMV2PL
+from repro.errors import ProtocolError, TransactionAborted
+from repro.faults.courier import FaultyCourier, RetryPolicy
+from repro.faults.invariants import FaultInvariantChecker
+from repro.faults.schedule import DEFAULT_SPEC, FaultSchedule, FaultSpec
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.sim.engine import Simulator
+from repro.sim.random_streams import RandomStreams
+
+PROTOCOLS = ("dvc", "dmv2pl")
+
+
+@dataclass
+class DrillReport:
+    """Outcome of one seeded drill."""
+
+    protocol: str
+    seed: int
+    duration: float
+    commits: int = 0
+    aborts: int = 0
+    ro_commits: int = 0
+    crashes: int = 0
+    messages: int = 0
+    faults: dict[str, int] = field(default_factory=dict)
+    violations: list[str] = field(default_factory=list)
+    wedged: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.wedged
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "protocol": self.protocol,
+            "seed": self.seed,
+            "duration": self.duration,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "ro_commits": self.ro_commits,
+            "crashes": self.crashes,
+            "messages": self.messages,
+            "faults": dict(self.faults),
+            "violations": list(self.violations),
+            "wedged": list(self.wedged),
+            "ok": self.ok,
+        }
+
+
+def run_drill(
+    protocol: str = "dvc",
+    seed: int = 0,
+    *,
+    duration: float = 300.0,
+    n_sites: int = 3,
+    writers: int = 4,
+    readers: int = 2,
+    spec: FaultSpec | None = None,
+    retry: RetryPolicy | None = None,
+    crash_mean: float | None = 90.0,
+    tracer: Tracer = NULL_TRACER,
+) -> DrillReport:
+    """Run one seeded fault drill; returns its :class:`DrillReport`.
+
+    ``crash_mean`` is the mean virtual time between site crash-restarts
+    (``None`` disables crashes).  Crashes stop at ``0.8 * duration`` so the
+    run always has a quiet tail in which in-flight work settles before the
+    final invariant sweep.
+    """
+    if protocol not in PROTOCOLS:
+        raise ValueError(f"unknown protocol {protocol!r}; pick from {PROTOCOLS}")
+    spec = spec if spec is not None else DEFAULT_SPEC
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    latency_rng = streams.stream("latency")
+    schedule = FaultSchedule(spec=spec, seed=seed)
+    courier = FaultyCourier(
+        schedule=schedule,
+        retry=retry,
+        sim=sim,
+        latency=lambda: latency_rng.expovariate(1.0),
+    )
+    if protocol == "dvc":
+        db: Any = DistributedVCDatabase(
+            n_sites=n_sites, courier=courier, prepare_timeout=80.0
+        )
+    else:
+        db = DistributedMV2PL(n_sites=n_sites, courier=courier)
+        readers = 0  # RO anomaly is the paper result, not a fault bug
+    from repro.obs.instrument import attach_tracer
+
+    if tracer.enabled:
+        tracer.clock = lambda: sim.now  # fault timelines in virtual time
+    instrumentation = attach_tracer(db, tracer)
+    checker = FaultInvariantChecker(db)
+    rng = streams.stream("clients")
+    keys = [f"s{s}:k{i}" for s in range(1, n_sites + 1) for i in range(4)]
+    report = DrillReport(protocol=protocol, seed=seed, duration=duration)
+
+    def writer_client(_i: int):
+        while sim.now < duration:
+            yield rng.expovariate(0.3)
+            if sim.now >= duration:
+                return
+            txn = db.begin()
+            try:
+                for key in rng.sample(keys, 2):
+                    value = yield db.read(txn, key)
+                    yield db.write(txn, key, (value or 0) + 1)
+                yield db.commit(txn)
+                checker.note_commit(txn)
+                report.commits += 1
+            except (TransactionAborted, ProtocolError):
+                # TransactionAborted: deadlock victim, site failure, or 2PC
+                # timeout surfaced through a pending future.  ProtocolError:
+                # the transaction was fault-aborted while the client slept
+                # between operations, so the next operation's entry guard
+                # fired.  Either way: clean up and move on.
+                if txn.is_active:
+                    db.abort(txn)
+                report.aborts += 1
+
+    def reader_client(_i: int):
+        while sim.now < duration:
+            yield rng.expovariate(0.4)
+            if sim.now >= duration:
+                return
+            txn = db.begin(read_only=True, origin_site=rng.randint(1, n_sites))
+            for key in rng.sample(keys, 3):
+                yield db.read(txn, key)
+            yield db.commit(txn)
+            report.ro_commits += 1
+
+    def crasher():
+        assert crash_mean is not None
+        while True:
+            yield rng.expovariate(1.0 / crash_mean)
+            # Leave a quiet tail: no crashes in the last fifth of the run,
+            # so decided commits settle before the final sweep.
+            if sim.now >= 0.8 * duration:
+                return
+            sid = rng.randint(1, n_sites)
+            db.crash_restart_site(sid)
+            schedule.counts.crashes += 1
+            report.crashes += 1
+            checker.snapshot()
+
+    def watcher():
+        while sim.now < duration:
+            yield duration / 20.0
+            checker.snapshot()
+
+    for i in range(writers):
+        sim.spawn(writer_client(i), name=f"writer-{i}")
+    for i in range(readers):
+        sim.spawn(reader_client(i), name=f"reader-{i}")
+    if crash_mean is not None:
+        sim.spawn(crasher(), name="crasher")
+    sim.spawn(watcher(), name="watcher")
+    sim.run()
+
+    report.wedged = [p.name for p in sim.blocked_processes()]
+    checker.check_final()
+    report.violations = list(checker.violations)
+    report.messages = courier.delivered
+    report.faults = schedule.counts.as_dict()
+    if tracer.enabled:
+        tracer.emit(
+            "fault.drill.done",
+            protocol=protocol,
+            seed=seed,
+            ok=report.ok,
+            commits=report.commits,
+            aborts=report.aborts,
+            crashes=report.crashes,
+        )
+    instrumentation.detach()
+    return report
+
+
+def run_campaign(
+    protocols: tuple[str, ...] | list[str] = PROTOCOLS,
+    seeds: int = 20,
+    seed_base: int = 0,
+    *,
+    progress: Callable[[DrillReport], None] | None = None,
+    **drill_kwargs: Any,
+) -> list[DrillReport]:
+    """Run ``seeds`` drills per protocol; returns every report."""
+    reports: list[DrillReport] = []
+    for protocol in protocols:
+        for offset in range(seeds):
+            report = run_drill(protocol, seed_base + offset, **drill_kwargs)
+            reports.append(report)
+            if progress is not None:
+                progress(report)
+    return reports
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro drill`` — seeded fault campaigns with a verdict."""
+    parser = argparse.ArgumentParser(
+        prog="repro drill",
+        description="Run seeded fault-injection drills over the distributed "
+        "protocols and check the paper's invariants.",
+    )
+    parser.add_argument(
+        "--protocol",
+        choices=(*PROTOCOLS, "both"),
+        default="both",
+        help="which distributed protocol to drill (default: both)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=20, help="number of seeds per protocol"
+    )
+    parser.add_argument(
+        "--seed-base", type=int, default=0, help="first master seed"
+    )
+    parser.add_argument(
+        "--duration", type=float, default=300.0, help="virtual time per drill"
+    )
+    parser.add_argument("--sites", type=int, default=3, help="sites per database")
+    parser.add_argument(
+        "--drop", type=float, default=DEFAULT_SPEC.drop, help="drop probability"
+    )
+    parser.add_argument(
+        "--duplicate",
+        type=float,
+        default=DEFAULT_SPEC.duplicate,
+        help="duplicate probability",
+    )
+    parser.add_argument(
+        "--delay-spike",
+        type=float,
+        default=DEFAULT_SPEC.delay_spike,
+        help="delay-spike probability",
+    )
+    parser.add_argument(
+        "--crash-mean",
+        type=float,
+        default=90.0,
+        help="mean virtual time between site crash-restarts (0 disables)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write every fault event as JSONL to PATH",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="only print the final verdict"
+    )
+    args = parser.parse_args(argv)
+
+    protocols = PROTOCOLS if args.protocol == "both" else (args.protocol,)
+    spec = FaultSpec(
+        drop=args.drop, duplicate=args.duplicate, delay_spike=args.delay_spike
+    )
+    tracer: Tracer = NULL_TRACER
+    if args.trace:
+        from repro.obs.exporters import JsonlExporter
+
+        tracer = Tracer(exporters=[JsonlExporter(args.trace)])
+
+    def progress(report: DrillReport) -> None:
+        if args.quiet:
+            return
+        verdict = "ok" if report.ok else "FAIL"
+        faults = report.faults
+        print(
+            f"  {report.protocol:7s} seed={report.seed:<4d} {verdict:4s} "
+            f"commits={report.commits:<4d} aborts={report.aborts:<3d} "
+            f"crashes={report.crashes:<2d} drops={faults.get('drops', 0):<3d} "
+            f"dups={faults.get('duplicates', 0):<3d} "
+            f"parked={faults.get('partition_deferrals', 0)}"
+        )
+
+    print(
+        f"fault drill: protocols={','.join(protocols)} seeds={args.seeds} "
+        f"spec=(drop={spec.drop}, dup={spec.duplicate}, spike={spec.delay_spike}) "
+        f"crash_mean={args.crash_mean or 'off'}"
+    )
+    reports = run_campaign(
+        protocols,
+        seeds=args.seeds,
+        seed_base=args.seed_base,
+        duration=args.duration,
+        n_sites=args.sites,
+        spec=spec,
+        crash_mean=args.crash_mean or None,
+        tracer=tracer,
+        progress=progress,
+    )
+    tracer.close()
+
+    failed = [r for r in reports if not r.ok]
+    total_commits = sum(r.commits for r in reports)
+    total_faults = sum(sum(r.faults.values()) for r in reports)
+    print(
+        f"{len(reports)} drills, {total_commits} commits, "
+        f"{total_faults} injected faults, {len(failed)} failed"
+    )
+    for report in failed:
+        print(f"FAILED {report.protocol} seed={report.seed}:", file=sys.stderr)
+        for violation in report.violations:
+            print(f"  violation: {violation}", file=sys.stderr)
+        for name in report.wedged:
+            print(f"  wedged process: {name}", file=sys.stderr)
+        print(
+            f"  replay: python -m repro drill --protocol {report.protocol} "
+            f"--seeds 1 --seed-base {report.seed}",
+            file=sys.stderr,
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

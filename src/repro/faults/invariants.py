@@ -1,0 +1,154 @@
+"""Paper invariants checked continuously while faults are injected.
+
+A :class:`FaultInvariantChecker` watches one distributed database —
+:class:`~repro.distributed.database.DistributedVCDatabase` or
+:class:`~repro.distributed.dmv2pl.DistributedMV2PL` — and asserts, during
+and after a drill, the properties the paper's correctness argument rests
+on:
+
+* **counter/visibility ordering** — each site's visibility counter stays
+  strictly below its next assignable local number (the distributed face of
+  Figure 1's ``vtnc <= tnc``);
+* **VCQueue consistency** — per-site queues stay sorted by number with
+  visibility strictly below the head entry (re-asserted externally, even
+  when the module's internal ``checked`` mode is off);
+* **visibility monotonicity** — a site's ``vtnc`` never decreases within
+  one incarnation (a crash may lawfully reopen visibility at the durable
+  frontier, which is why the checker tracks incarnations);
+* **no committed-write loss** — after every crash/recovery, each version a
+  committed transaction installed is still present, with the committed
+  value, in the owning site's store;
+* **global one-copy serializability** — the oracle's MVSG check over the
+  recorded global history (for DMV2PL under its own version order, and
+  only over the read-write subhistory — its read-only anomaly is a paper
+  result, not a fault bug).
+
+Violations accumulate as strings; :meth:`assert_ok` raises
+:class:`~repro.errors.InvariantViolation` carrying all of them.  Drills
+call :meth:`snapshot` between steps (cheap) and :meth:`check_final` once
+the run settles (full store/history scan).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.core.transaction import Transaction
+from repro.errors import InvariantViolation
+from repro.histories.checker import check_one_copy_serializable
+from repro.histories.mvsg import multiversion_serialization_graph
+
+
+class FaultInvariantChecker:
+    """Continuously assert paper invariants over a faulted distributed DB."""
+
+    def __init__(self, db: Any):
+        self.db = db
+        self.violations: list[str] = []
+        #: Per-site (incarnation, vtnc) high-water marks.
+        self._visibility_marks: dict[int, tuple[int, int]] = {}
+        #: Expected durable state of committed transactions:
+        #: txn_id -> list of (site_id, version_tn, key, value).
+        self._committed_writes: dict[int, list[tuple[int, int, Hashable, Any]]] = {}
+
+    # -- wiring -------------------------------------------------------------------
+
+    def _is_dvc(self) -> bool:
+        return hasattr(next(iter(self.db.sites.values())), "vc")
+
+    def note_commit(self, txn: Transaction) -> None:
+        """Record what a just-committed transaction must keep durable."""
+        if not txn.write_set or txn.tn is None:
+            return
+        expected: list[tuple[int, int, Hashable, Any]] = []
+        site_numbers = txn.meta.get("site_numbers")  # DMV2PL: per-site numbers
+        for key, value in txn.write_set.items():
+            site = self.db.site_of_key(key)
+            tn = site_numbers[site.site_id] if site_numbers else txn.tn
+            expected.append((site.site_id, tn, key, value))
+        self._committed_writes[txn.txn_id] = expected
+
+    # -- incremental checks -----------------------------------------------------------
+
+    def snapshot(self) -> None:
+        """Cheap mid-run check: VC ordering, queue shape, monotonicity."""
+        if not self._is_dvc():
+            return
+        for sid, site in self.db.sites.items():
+            vc = site.vc
+            if vc.vtnc >= vc.next_local_number:
+                self.violations.append(
+                    f"site {sid}: visibility {vc.vtnc} at or above the next "
+                    f"assignable number {vc.next_local_number}"
+                )
+            nums = [entry.num for entry in vc._order]
+            if nums != sorted(nums):
+                self.violations.append(f"site {sid}: VCQueue out of order: {nums}")
+            if nums and vc.vtnc >= nums[0]:
+                self.violations.append(
+                    f"site {sid}: visibility {vc.vtnc} covers pending entry {nums[0]}"
+                )
+            incarnation = getattr(site, "incarnation", 0)
+            mark = self._visibility_marks.get(sid)
+            if mark is not None and mark[0] == incarnation and vc.vtnc < mark[1]:
+                self.violations.append(
+                    f"site {sid}: visibility regressed {mark[1]} -> {vc.vtnc} "
+                    f"within incarnation {incarnation}"
+                )
+            self._visibility_marks[sid] = (incarnation, vc.vtnc)
+
+    def check_no_committed_write_loss(self) -> None:
+        """Every committed write is still installed with its committed value."""
+        for txn_id, expected in self._committed_writes.items():
+            for sid, tn, key, value in expected:
+                store = self.db.sites[sid].store
+                version = None
+                if key in set(store.keys()):
+                    version = store.object(key).find(tn)
+                if version is None:
+                    self.violations.append(
+                        f"T{txn_id}: committed write {key!r}@{tn} lost at site {sid}"
+                    )
+                elif version.value != value:
+                    self.violations.append(
+                        f"T{txn_id}: committed write {key!r}@{tn} at site {sid} "
+                        f"holds {version.value!r}, expected {value!r}"
+                    )
+
+    def check_serializable(self) -> None:
+        """Oracle check of the recorded global history."""
+        if self._is_dvc():
+            report = check_one_copy_serializable(self.db.history)
+            if not report.serializable:
+                self.violations.append(
+                    f"history not one-copy serializable: cycle {report.cycle}"
+                )
+        else:
+            graph = multiversion_serialization_graph(
+                self.db.history.committed_projection(),
+                self.db.global_version_order(),
+            )
+            cycle = graph.find_cycle()
+            if cycle is not None:
+                self.violations.append(
+                    f"dmv2pl read-write history not serializable: cycle {list(cycle)}"
+                )
+
+    def check_final(self) -> None:
+        """Full end-of-drill check (call after the network has drained)."""
+        self.snapshot()
+        self.check_no_committed_write_loss()
+        self.check_serializable()
+
+    # -- verdict ---------------------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def assert_ok(self) -> None:
+        if self.violations:
+            raise InvariantViolation(
+                f"{len(self.violations)} fault-drill invariant violation(s): "
+                + "; ".join(self.violations)
+            )

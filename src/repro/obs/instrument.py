@@ -109,6 +109,16 @@ def attach_tracer(scheduler: Any, tracer: Tracer) -> Instrumentation:
     if isinstance(engines, dict):
         for engine in engines.values():
             _attach_one(engine, handle)
+    # Distributed databases: the courier (message + fault.* events) and each
+    # site's lock manager and WAL.  Site version control is deliberately NOT
+    # bridged: DistributedVersionControl's observer signature (``vtnc`` only)
+    # differs from the centralized hook this module subscribes to.
+    handle._set_tracer(getattr(scheduler, "courier", None))
+    sites = getattr(scheduler, "sites", None)
+    if isinstance(sites, dict):
+        for site in sites.values():
+            handle._set_tracer(getattr(site, "locks", None))
+            handle._set_tracer(getattr(site, "wal", None))
     return handle
 
 

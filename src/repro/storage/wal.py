@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import Any, Hashable, Iterable
 
 from repro.core.version_control import VersionControl
-from repro.errors import ReproError
+from repro.errors import CorruptLogError, ReproError
 from repro.obs.tracer import NULL_TRACER
 from repro.storage.mvstore import MVStore
 
@@ -64,6 +64,11 @@ class WriteAheadLog:
     def __init__(self) -> None:
         self._records: list[LogRecord] = []
         self._durable = 0
+        #: Indices of records that reached stable storage only partially
+        #: (an interrupted ``force()``).  A torn *tail* record is treated by
+        #: :func:`recover` as the durable boundary; a torn record with valid
+        #: records after it is stable-media damage (:class:`CorruptLogError`).
+        self._torn: set[int] = set()
         #: Number of force (flush) operations — a cost proxy.
         self.forces = 0
         #: Structured-event tracer (wal.append / wal.force / wal.crash);
@@ -83,6 +88,31 @@ class WriteAheadLog:
         self.forces += 1
         if self.tracer.enabled:
             self.tracer.emit("wal.force", made_durable=volatile, durable=self._durable)
+
+    def partial_force(self, records: int, tear_last: bool = True) -> int:
+        """A ``force()`` interrupted by a crash mid-flush.
+
+        Only the first ``records`` volatile records reach stable storage,
+        and (when ``tear_last``) the last of them lands torn — partially
+        written, unreadable past its header.  Returns how many records
+        became durable.  Fault drills call this, then :meth:`crash`, to
+        model power loss during the flush; :func:`recover` must treat the
+        torn tail as the durable boundary.
+        """
+        made = min(max(records, 0), len(self._records) - self._durable)
+        self._durable += made
+        self.forces += 1
+        if tear_last and made > 0:
+            self._torn.add(self._durable - 1)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "wal.force", made_durable=made, durable=self._durable, torn=tear_last
+            )
+        return made
+
+    def torn_indices(self) -> set[int]:
+        """Indices (into the record list) of partially-written records."""
+        return set(self._torn)
 
     def crash(self) -> int:
         """Drop volatile records; returns how many were lost."""
@@ -107,6 +137,7 @@ class WriteAheadLog:
             return 0
         del self._records[:last_ckpt]
         self._durable -= last_ckpt
+        self._torn = {i - last_ckpt for i in self._torn if i >= last_ckpt}
         return last_ckpt
 
     def durable_records(self) -> list[LogRecord]:
@@ -119,6 +150,51 @@ class WriteAheadLog:
         return len(self._records)
 
 
+def _record_fault(index: int, record: object) -> str | None:
+    """Why ``record`` is malformed, or None when it is well-formed."""
+    if not isinstance(record, LogRecord):
+        return f"not a LogRecord: {record!r}"
+    if not isinstance(record.kind, RecordKind):
+        return f"unknown record kind {record.kind!r}"
+    if record.kind is RecordKind.WRITE and record.key is None:
+        return "WRITE record without a key"
+    if record.kind is RecordKind.COMMIT and not isinstance(record.tn, int):
+        return f"COMMIT record without a transaction number (tn={record.tn!r})"
+    if record.kind is RecordKind.CHECKPOINT:
+        value = record.value
+        if (
+            not isinstance(value, dict)
+            or "versions" not in value
+            or "next_tn" not in value
+        ):
+            return "CHECKPOINT record missing versions/next_tn"
+    return None
+
+
+def validate_durable(log: WriteAheadLog) -> list[LogRecord]:
+    """The readable durable prefix of ``log``, corruption-checked.
+
+    A torn or malformed *tail* record is the expected trace of a crash
+    during ``force()``: everything before it flushed, it did not.  Recovery
+    treats it as the durable boundary and drops it.  A torn or malformed
+    record with valid records *after* it cannot be explained by any crash —
+    the medium is damaged — so it raises :class:`CorruptLogError` rather
+    than silently skipping records (which could drop committed writes).
+    """
+    records = log.durable_records()
+    torn = log.torn_indices()
+    boundary = len(records)
+    for index in range(len(records) - 1, -1, -1):
+        fault = "torn record" if index in torn else _record_fault(index, records[index])
+        if fault is None:
+            continue
+        if index == boundary - 1:
+            boundary = index  # torn/garbage tail: durable boundary moves back
+            continue
+        raise CorruptLogError(index, fault)
+    return records[:boundary]
+
+
 def recover(log: WriteAheadLog) -> tuple[MVStore, VersionControl]:
     """Rebuild store and version control from the durable log.
 
@@ -129,8 +205,12 @@ def recover(log: WriteAheadLog) -> tuple[MVStore, VersionControl]:
     are skipped — their versions never existed durably.  The rebuilt
     ``VersionControl`` resumes numbering above the highest committed number,
     with full visibility (every surviving transaction is complete).
+
+    A torn tail record (interrupted ``force()``) marks the durable
+    boundary; a malformed record before the tail raises
+    :class:`~repro.errors.CorruptLogError`.
     """
-    records = log.durable_records()
+    records = validate_durable(log)
     start = 0
     base_versions: list[tuple[Hashable, int, Any]] = []
     base_next_tn = 1

@@ -86,6 +86,62 @@ class TestManualMode:
         assert seen == ["d", "s"]
 
 
+class TestManualJitter:
+    """Manual mode with a latency source: deterministic reordering by
+    virtual arrival time (send tick + drawn latency)."""
+
+    def test_constant_latency_keeps_fifo(self):
+        courier = Courier(manual=True, latency=7.5)
+        seen = []
+        for i in range(4):
+            courier.dispatch(lambda i=i: seen.append(i))
+        courier.pump()
+        assert seen == [0, 1, 2, 3], "uniform delay cannot reorder"
+
+    def test_latency_callable_reorders_deliveries(self):
+        delays = iter([10.0, 0.0])
+        courier = Courier(manual=True, latency=lambda: next(delays))
+        order = []
+        courier.dispatch(lambda: order.append("slow"))
+        courier.dispatch(lambda: order.append("fast"))
+        courier.pump()
+        assert order == ["fast", "slow"]
+
+    def test_seeded_jitter_is_deterministic(self):
+        import random
+
+        def run(seed):
+            rng = random.Random(seed)
+            courier = Courier(manual=True, latency=lambda: rng.expovariate(0.5))
+            order = []
+            for i in range(20):
+                courier.dispatch(lambda i=i: order.append(i))
+            courier.pump()
+            return order
+
+        assert run(3) == run(3)
+        assert run(3) != run(4), "different seeds draw different arrivals"
+        assert sorted(run(3)) == list(range(20)), "reordered, never lost"
+
+    def test_channel_latency_override_slows_one_path(self):
+        courier = Courier(
+            manual=True, latency=0.0, channel_latency={"snapshot": 100.0}
+        )
+        seen = []
+        courier.dispatch(lambda: seen.append("snap"), channel="snapshot")
+        courier.dispatch(lambda: seen.append("data"), channel="data")
+        courier.pump()
+        assert seen == ["data", "snap"], "the slow channel arrives last"
+
+    def test_negative_latency_clamps_to_send_order(self):
+        courier = Courier(manual=True, latency=-5.0)
+        seen = []
+        courier.dispatch(lambda: seen.append(1))
+        courier.dispatch(lambda: seen.append(2))
+        courier.pump()
+        assert seen == [1, 2]
+
+
 class TestSimulatedMode:
     def test_latency_schedules_on_the_clock(self):
         sim = Simulator()

@@ -1,0 +1,87 @@
+"""FaultInvariantChecker: catches seeded corruption, passes clean runs."""
+
+import pytest
+
+from repro.distributed import Courier, DistributedVCDatabase
+from repro.errors import InvariantViolation
+from repro.faults import FaultInvariantChecker
+
+
+def committed_txn(db, keys_values):
+    txn = db.begin()
+    for key, value in keys_values:
+        db.write(txn, key, value)
+    db.commit(txn)
+    return txn
+
+
+class TestCleanRun:
+    def test_ok_on_clean_database(self):
+        db = DistributedVCDatabase(n_sites=2, courier=Courier())
+        checker = FaultInvariantChecker(db)
+        txn = committed_txn(db, [("s1:x", 1), ("s2:y", 2)])
+        checker.note_commit(txn)
+        checker.check_final()
+        assert checker.ok
+        checker.assert_ok()  # does not raise
+
+    def test_snapshot_is_cheap_and_repeatable(self):
+        db = DistributedVCDatabase(n_sites=2, courier=Courier())
+        checker = FaultInvariantChecker(db)
+        for _ in range(3):
+            checker.snapshot()
+        assert checker.ok
+
+
+class TestDetectsCorruption:
+    def test_lost_committed_write_detected(self):
+        db = DistributedVCDatabase(n_sites=2, courier=Courier())
+        checker = FaultInvariantChecker(db)
+        txn = committed_txn(db, [("s1:x", 41)])
+        checker.note_commit(txn)
+        # Sabotage: drop the installed version behind the checker's back.
+        site = db.site_of_key("s1:x")
+        chain = site.store.object("s1:x")
+        version = chain.find(txn.tn)
+        assert version is not None
+        version.value = "corrupted"
+        checker.check_no_committed_write_loss()
+        assert not checker.ok
+        assert any("holds" in v for v in checker.violations)
+
+    def test_missing_version_detected(self):
+        db = DistributedVCDatabase(n_sites=2, courier=Courier())
+        checker = FaultInvariantChecker(db)
+        txn = committed_txn(db, [("s1:x", 41)])
+        # Claim a commit at a number that was never installed.
+        txn.write_set["s1:never"] = 99
+        checker.note_commit(txn)
+        checker.check_no_committed_write_loss()
+        assert any("lost" in v for v in checker.violations)
+
+    def test_visibility_regression_detected(self):
+        db = DistributedVCDatabase(n_sites=2, courier=Courier())
+        checker = FaultInvariantChecker(db)
+        checker.snapshot()
+        site = db.sites[1]
+        # Pretend an earlier snapshot saw much higher visibility in the
+        # same incarnation: the next snapshot must flag the regression.
+        checker._visibility_marks[1] = (site.incarnation, site.vc.vtnc + 10_000)
+        checker.snapshot()
+        assert any("regressed" in v for v in checker.violations)
+
+    def test_regression_allowed_across_incarnations(self):
+        db = DistributedVCDatabase(n_sites=2, courier=Courier())
+        checker = FaultInvariantChecker(db)
+        site = db.sites[1]
+        checker._visibility_marks[1] = (site.incarnation + 1, site.vc.vtnc + 10_000)
+        checker.snapshot()
+        assert checker.ok
+
+    def test_assert_ok_raises_with_all_violations(self):
+        db = DistributedVCDatabase(n_sites=2, courier=Courier())
+        checker = FaultInvariantChecker(db)
+        checker.violations.append("first problem")
+        checker.violations.append("second problem")
+        with pytest.raises(InvariantViolation, match="first problem"):
+            checker.assert_ok()

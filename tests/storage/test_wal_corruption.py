@@ -1,0 +1,197 @@
+"""Torn-tail, partial-force, and mid-log corruption semantics of the WAL.
+
+The contract under test (see ``validate_durable``): a torn or malformed
+record at the *tail* of the durable prefix is the expected trace of a crash
+during ``force()`` — recovery treats it as the durable boundary and drops
+it.  The same damage anywhere *before* the tail cannot be explained by a
+crash, so recovery refuses with :class:`CorruptLogError` rather than
+silently skipping records (which could drop committed writes).
+
+The crash-at-every-point sweep at the bottom is the satellite guarantee:
+for a committed workload's log cut after *every* record, recovery yields
+exactly the prefix-consistent state — each transaction all-or-nothing,
+decided solely by whether its COMMIT record made it into the durable
+prefix.
+"""
+
+import pytest
+
+from repro.errors import CorruptLogError, ReproError
+from repro.protocols.recoverable import RecoverableVC2PLScheduler
+from repro.storage.wal import (
+    LogRecord,
+    RecordKind,
+    WriteAheadLog,
+    recover,
+    validate_durable,
+)
+
+
+def _log_with(*records):
+    log = WriteAheadLog()
+    for record in records:
+        log.append(record)
+    return log
+
+
+W = lambda txn, key, value: LogRecord(RecordKind.WRITE, txn, key=key, value=value)
+C = lambda txn, tn: LogRecord(RecordKind.COMMIT, txn, tn=tn)
+
+
+class TestPartialForce:
+    def test_only_requested_records_become_durable(self):
+        log = _log_with(W(1, "x", 1), C(1, 1), W(2, "y", 2))
+        made = log.partial_force(2, tear_last=False)
+        assert made == 2
+        assert len(log.durable_records()) == 2
+        assert log.torn_indices() == set()
+
+    def test_made_count_clamps_to_volatile_suffix(self):
+        log = _log_with(W(1, "x", 1))
+        assert log.partial_force(10, tear_last=False) == 1
+        assert log.partial_force(5) == 0, "nothing volatile remains"
+        assert log.partial_force(-3) == 0
+
+    def test_tear_marks_last_flushed_record(self):
+        log = _log_with(W(1, "x", 1), C(1, 1), W(2, "y", 2))
+        log.partial_force(2, tear_last=True)
+        assert log.torn_indices() == {1}
+
+    def test_crash_after_partial_force_loses_only_unflushed(self):
+        log = _log_with(W(1, "x", 1), C(1, 1), W(2, "y", 2))
+        log.partial_force(2, tear_last=True)
+        assert log.crash() == 1
+
+
+class TestTornTail:
+    def test_torn_tail_is_the_durable_boundary(self):
+        log = _log_with(W(1, "x", 1), C(1, 1), W(2, "y", 2))
+        log.partial_force(3, tear_last=True)  # WRITE(y) lands torn
+        log.crash()
+        assert validate_durable(log) == log.durable_records()[:2]
+        store, _vc = recover(log)
+        assert store.read_latest_committed("x").value == 1
+        assert "y" not in store
+
+    def test_torn_commit_record_uncommits_the_transaction(self):
+        log = _log_with(W(1, "x", 1), C(1, 1))
+        log.partial_force(2, tear_last=True)  # the COMMIT itself is torn
+        log.crash()
+        store, vc = recover(log)
+        assert "x" not in store, "no durable COMMIT, no versions"
+        assert vc.tnc == 1
+
+    def test_malformed_tail_record_is_dropped_like_a_torn_one(self):
+        log = _log_with(W(1, "x", 1), C(1, 1), C(2, None))  # tn=None: garbage
+        log.force()
+        store, _vc = recover(log)
+        assert store.read_latest_committed("x").value == 1
+
+
+class TestCorruptMidLog:
+    def test_malformed_record_before_tail_raises(self):
+        log = _log_with(W(1, "x", 1), C(1, None), W(2, "y", 2), C(2, 2))
+        log.force()
+        with pytest.raises(CorruptLogError) as exc_info:
+            recover(log)
+        assert exc_info.value.index == 1
+        assert isinstance(exc_info.value, ReproError)
+
+    def test_torn_record_before_tail_raises(self):
+        log = _log_with(W(1, "x", 1), C(1, 1), W(2, "y", 2))
+        log.partial_force(2, tear_last=True)  # torn at index 1...
+        log.force()  # ...but a later force proves the medium kept writing
+        with pytest.raises(CorruptLogError) as exc_info:
+            validate_durable(log)
+        assert exc_info.value.index == 1
+
+    def test_foreign_object_in_log_raises(self):
+        log = _log_with(W(1, "x", 1))
+        log.append("not a record at all")
+        log.append(C(1, 1))
+        log.force()
+        with pytest.raises(CorruptLogError) as exc_info:
+            recover(log)
+        assert exc_info.value.index == 1
+
+    def test_corruption_past_durable_boundary_is_invisible(self):
+        log = _log_with(W(1, "x", 1), C(1, 1))
+        log.force()
+        log.append(C(2, None))  # volatile garbage: a crash erases it
+        log.crash()
+        store, _vc = recover(log)
+        assert store.read_latest_committed("x").value == 1
+
+
+# --- crash-at-every-point sweep -------------------------------------------
+
+N_TXNS = 6
+
+
+def _workload_records():
+    """The WAL of a small committed workload (every record durable)."""
+    db = RecoverableVC2PLScheduler()
+    for i in range(N_TXNS):
+        t = db.begin()
+        db.write(t, "acc", i).result()
+        db.write(t, f"side{i % 2}", i * 10).result()
+        db.commit(t).result()
+    return db.log.all_records()
+
+
+_RECORDS = _workload_records()
+
+
+def _expected_state(records):
+    """Prefix-consistent expectation: latest value per key from the
+    transactions whose COMMIT record lies within ``records``."""
+    writes, committed = {}, {}
+    for record in records:
+        if record.kind is RecordKind.WRITE:
+            writes.setdefault(record.txn_id, []).append((record.key, record.value))
+        elif record.kind is RecordKind.COMMIT:
+            committed[record.txn_id] = record.tn
+    latest = {}
+    for txn_id, _tn in sorted(committed.items(), key=lambda item: item[1]):
+        for key, value in writes.get(txn_id, ()):
+            latest[key] = value
+    return latest, (max(committed.values()) if committed else 0)
+
+
+@pytest.mark.parametrize("cut", range(len(_RECORDS) + 1))
+def test_crash_at_every_point_recovers_committed_prefix(cut):
+    log = WriteAheadLog()
+    for record in _RECORDS[:cut]:
+        log.append(record)
+    log.force()
+    for record in _RECORDS[cut:]:
+        log.append(record)  # reaches the log but never stable storage
+    lost = log.crash()
+    assert lost == len(_RECORDS) - cut
+
+    store, vc = recover(log)
+    latest, max_tn = _expected_state(_RECORDS[:cut])
+    assert set(store.keys()) == set(latest), "only committed writes survive"
+    for key, value in latest.items():
+        assert store.read_latest_committed(key).value == value
+    assert vc.tnc == max_tn + 1, "numbering resumes above the durable frontier"
+    assert vc.vtnc == max_tn, "every recovered transaction is fully visible"
+
+
+@pytest.mark.parametrize("cut", range(1, len(_RECORDS) + 1))
+def test_crash_mid_force_at_every_point_tears_the_tail(cut):
+    """Same sweep, but the crash interrupts the force itself: the last
+    flushed record lands torn, so the durable boundary is one record
+    earlier than the cut."""
+    log = WriteAheadLog()
+    for record in _RECORDS[:cut]:
+        log.append(record)
+    log.partial_force(cut, tear_last=True)
+    log.crash()
+
+    store, vc = recover(log)
+    latest, max_tn = _expected_state(_RECORDS[: cut - 1])
+    assert set(store.keys()) == set(latest)
+    for key, value in latest.items():
+        assert store.read_latest_committed(key).value == value
+    assert vc.tnc == max_tn + 1

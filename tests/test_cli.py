@@ -41,5 +41,12 @@ class TestCLI:
     def test_report_unknown_id(self, capsys):
         assert main(["report", "EXP-Z"]) == 2
 
+    def test_drill(self, capsys):
+        args = ["drill", "--seeds", "1", "--duration", "100", "--protocol", "dvc"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "0 failed" in out
+
     def test_unknown_command(self, capsys):
         assert main(["frobnicate"]) == 2
+        assert "drill" in capsys.readouterr().out
