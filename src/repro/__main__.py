@@ -15,7 +15,11 @@ Commands:
 * ``drill [--seeds N ...]`` — seeded fault-injection campaigns over the
   distributed protocols: lossy/duplicating/partitioned network plus site
   crash-restarts, with the paper's invariants checked throughout (see
-  ``docs/faults.md``).
+  ``docs/faults.md``);
+* ``bench [--quick ...]`` — seeded benchmark suites emitting versioned
+  ``BENCH_<rev>.json`` artifacts (throughput, latency percentiles, abort
+  rates, critical-path phase shares) with a regression comparator for CI
+  (see ``docs/benchmarks.md``).
 """
 
 from __future__ import annotations
@@ -91,6 +95,12 @@ def cmd_drill(args: list[str]) -> int:
     return drill_main(args)
 
 
+def cmd_bench(args: list[str]) -> int:
+    from repro.bench.artifact import main as bench_main
+
+    return bench_main(args)
+
+
 def cmd_selfcheck(protocol: str = "vc-2pl") -> int:
     from repro.bench.runner import SimConfig, run_simulation
     from repro.protocols.registry import make_scheduler
@@ -128,9 +138,11 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_trace(rest)
     if command == "drill":
         return cmd_drill(rest)
+    if command == "bench":
+        return cmd_bench(rest)
     print(
         f"unknown command {command!r}; "
-        "try: list, demo, report, selfcheck, trace, drill"
+        "try: list, demo, report, selfcheck, trace, drill, bench"
     )
     return 2
 

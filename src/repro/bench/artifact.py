@@ -1,0 +1,468 @@
+"""Versioned benchmark artifacts and the regression comparator.
+
+``python -m repro bench`` runs a named suite of closed-loop benchmarks under
+seeded determinism and writes a ``BENCH_<rev>.json`` artifact: per protocol,
+throughput, latency percentiles (p50/p95/p99 by transaction class), abort
+rates, visibility lag, and critical-path phase shares derived from the span
+trees of the traced run.  Because every number is measured in *virtual*
+time, the artifact is a pure function of (code, suite, seed): the same
+commit produces byte-identical metrics on any machine, which is what makes
+``compare`` usable as a CI gate — a regression is a code change, not noise.
+(Wall-clock seconds are recorded too, but informationally; the comparator
+never looks at them.)
+
+The comparator (:func:`compare`, ``--baseline`` / ``--compare``) diffs two
+artifacts and fails on a throughput drop or a p99 latency increase beyond
+tolerance (defaults: 10% / 15% — see ``docs/benchmarks.md``).
+
+The committed ``BENCH_baseline.json`` at the repo root is the reference
+point; refresh it deliberately (and explain why in the commit) whenever an
+intended change moves the numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.bench.metrics import RunMetrics
+from repro.bench.runner import SimConfig, run_simulation
+from repro.distributed.courier import Courier
+from repro.obs.exporters import RingBufferExporter
+from repro.obs.profile import aggregate_phase_shares
+from repro.obs.spans import transaction_trees
+from repro.obs.tracer import Tracer
+from repro.sim.engine import Simulator
+from repro.workload.mixes import MIXES
+
+SCHEMA = "repro.bench/1"
+
+#: Regression tolerances the CI gate enforces (see docs/benchmarks.md).
+THROUGHPUT_TOLERANCE = 0.10
+P99_TOLERANCE = 0.15
+
+
+@dataclass(frozen=True)
+class Suite:
+    """A named benchmark suite: which protocols, which workload, how long."""
+
+    name: str
+    protocols: tuple[str, ...]
+    mix: str = "balanced"
+    duration: float = 300.0
+    n_clients: int = 8
+    description: str = ""
+
+
+SUITES: dict[str, Suite] = {
+    "quick": Suite(
+        name="quick",
+        protocols=("vc-2pl", "vc-to", "mv2pl-chan", "sv-2pl", "dvc-2pl", "dmv2pl"),
+        duration=300.0,
+        description="CI gate: core VC protocols, two baselines, both "
+        "distributed databases",
+    ),
+    "full": Suite(
+        name="full",
+        protocols=(
+            "vc-2pl",
+            "vc-to",
+            "vc-occ",
+            "mvto-reed",
+            "mv2pl-chan",
+            "weihl-ti",
+            "sv-2pl",
+            "sv-to",
+            "dvc-2pl",
+            "dmv2pl",
+        ),
+        duration=600.0,
+        description="every registered protocol plus the distributed pair",
+    ),
+}
+
+#: Protocols that are distributed databases, not registry schedulers.
+DISTRIBUTED = ("dvc-2pl", "dmv2pl")
+
+
+class _DeclaredReadSites:
+    """Adapter making :class:`DistributedMV2PL` drivable by the runner.
+
+    The protocol demands a-priori read-site declaration (the paper's
+    criticism); the closed-loop runner has no notion of sites, so the
+    adapter declares *all* sites — the pessimal but always-correct choice.
+    """
+
+    def __init__(self, db: Any):
+        self._db = db
+
+    def begin(self, read_only: bool = False):
+        if read_only:
+            return self._db.begin(read_only=True, read_sites=sorted(self._db.sites))
+        return self._db.begin()
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._db, name)
+
+
+def _make_scheduler(protocol: str, sim: Simulator) -> Any:
+    """Instantiate a benchmark subject, distributed ones on ``sim``'s clock."""
+    if protocol in DISTRIBUTED:
+        from repro.distributed.database import DistributedVCDatabase
+        from repro.distributed.dmv2pl import DistributedMV2PL
+
+        courier = Courier(sim=sim, latency=1.0)
+        if protocol == "dvc-2pl":
+            return DistributedVCDatabase(n_sites=3, courier=courier)
+        return _DeclaredReadSites(DistributedMV2PL(n_sites=3, courier=courier))
+    from repro.protocols.registry import make_scheduler
+
+    return make_scheduler(protocol)
+
+
+def _latency_block(summary: Any) -> dict[str, float]:
+    return {
+        "count": summary.count,
+        "mean": round(summary.mean, 6),
+        "p50": round(summary.p50, 6),
+        "p95": round(summary.p95, 6),
+        "p99": round(summary.p99, 6),
+    }
+
+
+def bench_protocol(
+    protocol: str,
+    suite: Suite,
+    seed: int,
+    span_capacity: int = 262_144,
+) -> dict[str, Any]:
+    """One traced benchmark run → one artifact entry for ``protocol``."""
+    sim = Simulator()
+    scheduler = _make_scheduler(protocol, sim)
+    ring = RingBufferExporter(capacity=span_capacity)
+    tracer = Tracer(exporters=[ring], clock=lambda: sim.now)
+    workload = MIXES[suite.mix](seed=seed)
+    config = SimConfig(
+        duration=suite.duration,
+        n_clients=suite.n_clients,
+        # The bench measures performance; correctness has its own tests (and
+        # dmv2pl's read-only anomaly would trip the global oracle by design).
+        check_serializability=False,
+    )
+    wall_start = time.perf_counter()
+    metrics: RunMetrics = run_simulation(
+        scheduler, workload, config, tracer=tracer, sim=sim
+    )
+    wall_clock_s = time.perf_counter() - wall_start
+
+    events = [event.to_dict() for event in ring.events()]
+    trees = transaction_trees(events)
+    committed = [root for root in trees.values() if root.ok is True]
+    shares = aggregate_phase_shares(committed)
+
+    vc_lag = None
+    if metrics.vc_lag is not None:
+        vc_lag = {
+            "mean": round(metrics.vc_lag.average(metrics.duration), 6),
+            "peak": metrics.vc_lag.maximum,
+        }
+
+    return {
+        "throughput": round(metrics.throughput, 6),
+        "commits": metrics.commits,
+        "commits_ro": metrics.commits_ro,
+        "commits_rw": metrics.commits_rw,
+        "aborts": metrics.aborts,
+        "abort_rate_rw": round(metrics.abort_rate_rw, 6),
+        "abort_rate_ro": round(metrics.abort_rate_ro, 6),
+        "restarts": metrics.restarts,
+        "latency": {
+            "ro": _latency_block(metrics.latency_ro),
+            "rw": _latency_block(metrics.latency_rw),
+        },
+        "visibility_lag": vc_lag,
+        "critical_path": {
+            phase: round(share, 6) for phase, share in shares.items()
+        },
+        "span_trees": len(committed),
+        "trace_events": len(events) + ring.dropped,
+        "wall_clock_s": round(wall_clock_s, 3),
+    }
+
+
+def run_suite(
+    suite: Suite, seed: int = 0, protocols: tuple[str, ...] | None = None
+) -> dict[str, Any]:
+    """Run ``suite`` and return the artifact dict (not yet written)."""
+    selected = protocols if protocols else suite.protocols
+    artifact: dict[str, Any] = {
+        "schema": SCHEMA,
+        "suite": suite.name,
+        "seed": seed,
+        "workload": suite.mix,
+        "duration": suite.duration,
+        "n_clients": suite.n_clients,
+        "rev": git_rev(),
+        "protocols": {},
+    }
+    for protocol in selected:
+        artifact["protocols"][protocol] = bench_protocol(protocol, suite, seed)
+    return artifact
+
+
+def git_rev() -> str:
+    """Short commit id for the artifact filename; ``dev`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "dev"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "dev"
+
+
+def write_artifact(artifact: dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(artifact, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+def load_artifact(path: str) -> dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as stream:
+        artifact = json.load(stream)
+    if not isinstance(artifact, dict) or "protocols" not in artifact:
+        raise ValueError(f"{path}: not a bench artifact (no 'protocols' key)")
+    return artifact
+
+
+# -- the regression comparator -----------------------------------------------------
+
+
+def compare(
+    baseline: dict[str, Any],
+    candidate: dict[str, Any],
+    throughput_tolerance: float = THROUGHPUT_TOLERANCE,
+    p99_tolerance: float = P99_TOLERANCE,
+) -> list[str]:
+    """Regressions of ``candidate`` against ``baseline``, as messages.
+
+    Flags: per-protocol throughput below ``1 - throughput_tolerance`` of
+    baseline, and per-class p99 latency above ``1 + p99_tolerance`` of
+    baseline.  Protocols present only in the candidate are informational
+    additions, not failures; protocols *missing* from the candidate fail.
+    An empty return means the gate passes.
+    """
+    regressions: list[str] = []
+    for protocol, base in sorted(baseline.get("protocols", {}).items()):
+        cand = candidate.get("protocols", {}).get(protocol)
+        if cand is None:
+            regressions.append(f"{protocol}: missing from candidate artifact")
+            continue
+        base_tp = base.get("throughput", 0.0)
+        cand_tp = cand.get("throughput", 0.0)
+        floor = base_tp * (1.0 - throughput_tolerance)
+        if base_tp > 0 and cand_tp < floor:
+            regressions.append(
+                f"{protocol}: throughput {cand_tp:g} below "
+                f"{floor:g} ({base_tp:g} - {throughput_tolerance:.0%})"
+            )
+        for cls in ("ro", "rw"):
+            base_p99 = base.get("latency", {}).get(cls, {}).get("p99", 0.0)
+            cand_p99 = cand.get("latency", {}).get(cls, {}).get("p99", 0.0)
+            ceiling = base_p99 * (1.0 + p99_tolerance)
+            if base_p99 > 0 and cand_p99 > ceiling:
+                regressions.append(
+                    f"{protocol}: {cls} p99 {cand_p99:g} above "
+                    f"{ceiling:g} ({base_p99:g} + {p99_tolerance:.0%})"
+                )
+    return regressions
+
+
+def render_artifact(artifact: dict[str, Any]) -> str:
+    """One-line-per-protocol table of the headline numbers."""
+    lines = [
+        f"suite={artifact.get('suite')} seed={artifact.get('seed')} "
+        f"workload={artifact.get('workload')} duration={artifact.get('duration')}"
+    ]
+    protocols = artifact.get("protocols", {})
+    if not protocols:
+        return lines[0] + "\n(no protocols)"
+    width = max(len(name) for name in protocols)
+    header = (
+        f"{'protocol':<{width}}  {'thruput':>8}  {'commits':>7}  "
+        f"{'rw p99':>8}  {'ro p99':>8}  {'abrt rw':>7}  phases"
+    )
+    lines.append(header)
+    for name, entry in protocols.items():
+        shares = entry.get("critical_path", {})
+        top = sorted(shares.items(), key=lambda kv: -kv[1])[:3]
+        phase_text = " ".join(f"{p}={s:.0%}" for p, s in top)
+        lines.append(
+            f"{name:<{width}}  {entry.get('throughput', 0.0):>8.4f}  "
+            f"{entry.get('commits', 0):>7}  "
+            f"{entry.get('latency', {}).get('rw', {}).get('p99', 0.0):>8.3f}  "
+            f"{entry.get('latency', {}).get('ro', {}).get('p99', 0.0):>8.3f}  "
+            f"{entry.get('abort_rate_rw', 0.0):>7.2%}  {phase_text}"
+        )
+    return "\n".join(lines)
+
+
+# -- CLI ---------------------------------------------------------------------------
+
+
+def main(argv: list[str]) -> int:
+    """``python -m repro bench [options]``.
+
+    Options:
+      --suite NAME     suite to run: quick | full (default quick)
+      --quick          alias for --suite quick
+      --protocols A,B  restrict the suite to a comma-separated subset
+      --seed N         workload seed (default 0)
+      --out PATH       artifact path (default BENCH_<rev>.json)
+      --baseline PATH  compare the fresh artifact against PATH; exit 1 on
+                       regression beyond tolerance
+      --compare A B    compare two existing artifacts (no run) and exit
+      --cprofile       additionally profile the run's real CPU (top functions)
+      --list           list suites and exit
+    """
+    args = list(argv)
+    suite_name = "quick"
+    seed = 0
+    out: str | None = None
+    baseline_path: str | None = None
+    compare_paths: tuple[str, str] | None = None
+    protocols: tuple[str, ...] | None = None
+    cprofile = False
+    index = 0
+
+    def take_value(flag: str) -> str | None:
+        nonlocal index
+        index += 1
+        if index >= len(args):
+            print(f"{flag} needs a value")
+            return None
+        return args[index]
+
+    while index < len(args):
+        arg = args[index]
+        if arg in ("-h", "--help"):
+            print(main.__doc__)
+            return 0
+        if arg == "--list":
+            for suite in SUITES.values():
+                print(f"{suite.name}: {', '.join(suite.protocols)}")
+                print(f"  {suite.description}")
+            return 0
+        if arg == "--quick":
+            suite_name = "quick"
+        elif arg == "--suite":
+            value = take_value(arg)
+            if value is None:
+                return 2
+            suite_name = value
+        elif arg == "--protocols":
+            value = take_value(arg)
+            if value is None:
+                return 2
+            protocols = tuple(p.strip() for p in value.split(",") if p.strip())
+        elif arg == "--seed":
+            value = take_value(arg)
+            if value is None:
+                return 2
+            try:
+                seed = int(value)
+            except ValueError:
+                print(f"--seed needs an integer, got {value!r}")
+                return 2
+        elif arg == "--out":
+            value = take_value(arg)
+            if value is None:
+                return 2
+            out = value
+        elif arg == "--baseline":
+            value = take_value(arg)
+            if value is None:
+                return 2
+            baseline_path = value
+        elif arg == "--compare":
+            first = take_value(arg)
+            second = take_value(arg) if first is not None else None
+            if first is None or second is None:
+                print("--compare needs two artifact paths")
+                return 2
+            compare_paths = (first, second)
+        elif arg == "--cprofile":
+            cprofile = True
+        else:
+            print(f"unknown option {arg!r}")
+            return 2
+        index += 1
+
+    if compare_paths is not None:
+        try:
+            base = load_artifact(compare_paths[0])
+            cand = load_artifact(compare_paths[1])
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"cannot load artifact: {exc}")
+            return 1
+        regressions = compare(base, cand)
+        if regressions:
+            print("REGRESSIONS:")
+            for message in regressions:
+                print(f"  {message}")
+            return 1
+        print("no regressions beyond tolerance")
+        return 0
+
+    suite = SUITES.get(suite_name)
+    if suite is None:
+        print(f"unknown suite {suite_name!r}; available: {', '.join(SUITES)}")
+        return 2
+    unknown = [p for p in (protocols or ()) if p not in suite.protocols]
+    if unknown:
+        print(
+            f"protocols not in suite {suite.name!r}: {', '.join(unknown)} "
+            f"(suite has: {', '.join(suite.protocols)})"
+        )
+        return 2
+
+    if cprofile:
+        from repro.obs.profile import profile_wallclock
+
+        artifact, rows = profile_wallclock(run_suite, suite, seed, protocols)
+    else:
+        artifact = run_suite(suite, seed, protocols)
+        rows = None
+
+    path = out if out is not None else f"BENCH_{artifact['rev']}.json"
+    write_artifact(artifact, path)
+    print(render_artifact(artifact))
+    print(f"\nartifact written to {path}")
+    if rows:
+        print("\ntop functions by cumulative wall-clock time:")
+        for row in rows:
+            print(
+                f"  {row['cumtime']:>9.4f}s  {row['calls']:>9}  {row['function']}"
+            )
+
+    if baseline_path is not None:
+        try:
+            base = load_artifact(baseline_path)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"cannot load baseline: {exc}")
+            return 1
+        regressions = compare(base, artifact)
+        if regressions:
+            print("\nREGRESSIONS against", baseline_path)
+            for message in regressions:
+                print(f"  {message}")
+            return 1
+        print(f"\nno regressions against {baseline_path}")
+    return 0

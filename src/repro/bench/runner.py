@@ -50,6 +50,7 @@ def run_simulation(
     workload: WorkloadSpec,
     config: SimConfig | None = None,
     tracer: Tracer | None = None,
+    sim: Simulator | None = None,
 ) -> RunMetrics:
     """Execute one closed-loop run and return its metrics.
 
@@ -57,15 +58,22 @@ def run_simulation(
     and attached across the scheduler's components for the duration of the
     run (and detached afterward), so every exported event carries a
     virtual-time stamp from this run only.
+
+    ``sim`` lets the caller supply the simulator — required when the
+    scheduler is a distributed database whose courier must share the
+    runner's clock (``Courier(sim=sim)``); by default a fresh one is made.
     """
     config = config or SimConfig()
     instrumentation = None
+    if sim is None:
+        sim = (
+            Simulator(tracer=tracer)
+            if tracer is not None and tracer.enabled
+            else Simulator()
+        )
     if tracer is not None and tracer.enabled:
-        sim = Simulator(tracer=tracer)
         tracer.clock = lambda: sim.now
         instrumentation = attach_tracer(scheduler, tracer)
-    else:
-        sim = Simulator()
     generator = WorkloadGenerator(workload)
     think_rng = generator.streams.stream("think")
     metrics = RunMetrics(protocol=scheduler.name)

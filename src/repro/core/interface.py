@@ -29,6 +29,7 @@ from repro.core.transaction import Transaction, TxnClass
 from repro.errors import AbortReason
 from repro.histories.recorder import HistoryRecorder
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import start_span
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 
@@ -78,13 +79,27 @@ class SchedulerCounters:
         suffix = self._suffix(txn)
         self.bump(f"begin.{suffix}")
         if self.tracer.enabled:
+            # Root of the transaction's span tree: one fresh trace per
+            # transaction, every later span (lock wait, courier hop, 2PC
+            # leg) hangs off it.  Stashed on txn.meta so note_commit /
+            # note_abort — and protocol code parenting message sends — can
+            # find it without the tracer knowing about transactions.
+            txn.meta["obs.span"] = start_span(
+                self.tracer, "txn", parent=None, txn=txn.txn_id, cls=suffix
+            )
             self.tracer.emit("txn.begin", txn=txn.txn_id, cls=suffix)
+
+    def _end_txn_span(self, txn: Transaction, ok: bool, **fields: Any) -> None:
+        span = txn.meta.pop("obs.span", None)
+        if span is not None:
+            span.end(ok=ok, **fields)
 
     def note_commit(self, txn: Transaction) -> None:
         suffix = self._suffix(txn)
         self.bump(f"commit.{suffix}")
         if self.tracer.enabled:
             self.tracer.emit("txn.commit", txn=txn.txn_id, cls=suffix, tn=txn.tn)
+        self._end_txn_span(txn, ok=True)
 
     def note_abort(self, txn: Transaction, reason: AbortReason, caused_by_readonly: bool) -> None:
         suffix = self._suffix(txn)
@@ -100,6 +115,7 @@ class SchedulerCounters:
                 reason=reason.value,
                 ro_caused=caused_by_readonly,
             )
+        self._end_txn_span(txn, ok=False, reason=reason.value)
 
     def note_cc_interaction(self, txn: Transaction, kind: str = "op") -> None:
         """One call into the concurrency-control component for ``txn``."""

@@ -30,6 +30,16 @@ ordering is unconstrained — the freedom distributed anomalies need.
 ``channel_latency`` overrides the latency source per channel in every mode,
 so one slow path can be modeled next to fast ones.
 
+**Span-context envelopes.**  When a tracer is attached, ``dispatch`` seals
+the sender's ambient span context into the message (see
+:func:`repro.obs.spans.bind_envelope`): a ``msg`` span covers the courier
+hop, and the handler runs under that span's context at the receiving site,
+so cross-site work stays on one causal tree.  The seal happens *once*, at
+dispatch — retransmissions and duplicates re-deliver the sealed thunk, so
+a :class:`~repro.faults.FaultyCourier` retry cannot detach the context.
+Mode-specific routing lives in :meth:`Courier._route`, which subclasses
+override; ``dispatch`` itself stays the single sealing point.
+
 :class:`~repro.faults.FaultyCourier` subclasses this to inject drops,
 duplicates, delay spikes and partitions from a seeded schedule.
 """
@@ -39,6 +49,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Mapping
 
+from repro.obs.spans import bind_envelope
 from repro.obs.tracer import NULL_TRACER
 from repro.sim.engine import Simulator
 
@@ -98,7 +109,21 @@ class Courier:
         return float(source)
 
     def dispatch(self, fn: Callable[[], None], channel: str = "default") -> None:
-        """Deliver ``fn`` per the configured mode."""
+        """Deliver ``fn`` per the configured mode.
+
+        With a tracer attached and a sender context active, that context is
+        sealed into the message envelope here — exactly once, before any
+        routing — so every later delivery (including fault-layer
+        retransmissions and duplicates) runs under the sending context.
+        Context-free traffic (nothing to propagate) is routed unsealed, so
+        it never produces orphan ``msg`` roots.
+        """
+        if self.tracer.enabled and self.tracer.active_span is not None:
+            fn = bind_envelope(self.tracer, fn, channel)
+        self._route(fn, channel)
+
+    def _route(self, fn: Callable[[], None], channel: str) -> None:
+        """Mode-specific delivery; overridden by the fault-injecting courier."""
         if self._sim is not None:
             self._sim.call_in(self._draw_latency(channel), self._wrap(fn))
         elif self._manual:

@@ -66,6 +66,7 @@ from repro.errors import (
     VersionNotFound,
 )
 from repro.histories.recorder import HistoryRecorder
+from repro.obs.spans import activate, start_span, txn_context
 from repro.storage.mvstore import MVStore
 from repro.storage.wal import (
     LogRecord,
@@ -269,6 +270,23 @@ class DistributedVCDatabase:
         """Dispatch a message to ``site``; parks if the site is down."""
         self.courier.dispatch(lambda: site.receive(fn), channel=channel)
 
+    def _send_for(
+        self, txn: Transaction, site: Site, fn: Callable[[], None], channel: str
+    ) -> None:
+        """Dispatch on ``txn``'s behalf, parenting the message span causally.
+
+        Inside a delivered handler the ambient context (the incoming
+        message's span) already names the cause; from client code there is
+        none, so the transaction's root span steps in.  Disabled tracer:
+        plain send.
+        """
+        tracer = self.courier.tracer
+        if tracer.enabled:
+            with activate(tracer, tracer.active_span or txn_context(txn)):
+                self._send(site, fn, channel)
+        else:
+            self._send(site, fn, channel)
+
     # -- transactions -----------------------------------------------------------------
 
     def begin(
@@ -340,7 +358,7 @@ class DistributedVCDatabase:
 
             visible.add_callback(ready)
 
-        self._send(site, deliver, channel="read")
+        self._send_for(txn, site, deliver, channel="read")
         return result
 
     # -- read-write path -------------------------------------------------------------------
@@ -381,7 +399,7 @@ class DistributedVCDatabase:
 
             lock.add_callback(locked)
 
-        self._send(site, deliver, channel="data")
+        self._send_for(txn, site, deliver, channel="data")
         return result
 
     def write(self, txn: Transaction, key: Hashable, value: Any) -> OpFuture:
@@ -414,7 +432,7 @@ class DistributedVCDatabase:
 
             lock.add_callback(locked)
 
-        self._send(site, deliver, channel="data")
+        self._send_for(txn, site, deliver, channel="data")
         return result
 
     # -- termination ----------------------------------------------------------------------
@@ -439,13 +457,20 @@ class DistributedVCDatabase:
     def _two_phase_commit(self, txn: Transaction, participants: list[int], result: OpFuture) -> None:
         holds: dict[int, int] = {}
         remaining = set(participants)
+        tracer = self.courier.tracer
+        # One "commit" span from the coordinator's decision to the final ack
+        # brackets both 2PC rounds; each round's messages and per-site work
+        # hang off it, so the profile can split prepare from commit legs.
+        commit_span = start_span(tracer, "commit", parent=txn_context(txn), txn=txn.txn_id)
+        result.add_callback(lambda f: commit_span.end(ok=not f.failed))
 
         def prepare_at(sid: int) -> None:
             if txn.is_finished or sid not in remaining:
                 return  # aborted meanwhile, or duplicated delivery
             site = self.sites[sid]
-            if not site.vc.is_registered(txn.txn_id):
-                holds[sid] = site.vc.hold(txn.txn_id)
+            with start_span(tracer, "2pc.prepare", txn=txn.txn_id, site=sid):
+                if not site.vc.is_registered(txn.txn_id):
+                    holds[sid] = site.vc.hold(txn.txn_id)
             remaining.discard(sid)
             if not remaining:
                 decide()
@@ -460,49 +485,62 @@ class DistributedVCDatabase:
                 if sid not in acks:  # duplicated delivery, or already applied
                     return
                 site = self.sites[sid]
-                site_items = [
-                    (key, value)
-                    for key, value in txn.write_set.items()
-                    if self.site_of_key(key) is site
-                ]
-                # Durability first: force the WAL before installing or
-                # acking, so a later crash of this site replays the commit.
-                for key, value in site_items:
-                    site.wal.append(
-                        LogRecord(RecordKind.WRITE, txn.txn_id, key=key, value=value)
-                    )
-                site.wal.append(LogRecord(RecordKind.COMMIT, txn.txn_id, tn=tn))
-                site.wal.force()
-                if site.vc.is_registered(txn.txn_id):
-                    site.vc.adopt(txn.txn_id, tn)
-                else:
-                    # The site crashed after preparing and its hold was not
-                    # restorable (it had already been applied elsewhere or
-                    # visibility moved on); numbering must still stay above.
-                    site.vc.observe(tn)
-                for key, value in site_items:
-                    existing = site.store.object(key).find(tn)
-                    if existing is None:
-                        site.store.install(key, tn, value)
-                    else:  # replayed by recovery before this delivery
-                        existing.value = value
-                site.locks.release_all(txn.txn_id)
-                if site.vc.is_registered(txn.txn_id):
-                    site.vc.complete(txn.txn_id)
-                acks.discard(sid)
-                if not acks:
-                    self._active.pop(txn.txn_id, None)
-                    txn.mark_committed()
-                    self.counters.note_commit(txn)
-                    self.recorder.record_commit(txn)
-                    result.resolve(None)
+                # Ambient context covers the normal delivery path; recovery
+                # calls this directly (no envelope), so fall back to the
+                # commit span to keep the leg inside the transaction's tree.
+                leg = start_span(
+                    tracer,
+                    "2pc.commit",
+                    parent=tracer.active_span or commit_span.context,
+                    txn=txn.txn_id,
+                    site=sid,
+                )
+                with leg:
+                    site_items = [
+                        (key, value)
+                        for key, value in txn.write_set.items()
+                        if self.site_of_key(key) is site
+                    ]
+                    # Durability first: force the WAL before installing or
+                    # acking, so a later crash of this site replays the commit.
+                    for key, value in site_items:
+                        site.wal.append(
+                            LogRecord(RecordKind.WRITE, txn.txn_id, key=key, value=value)
+                        )
+                    site.wal.append(LogRecord(RecordKind.COMMIT, txn.txn_id, tn=tn))
+                    site.wal.force()
+                    if site.vc.is_registered(txn.txn_id):
+                        site.vc.adopt(txn.txn_id, tn)
+                    else:
+                        # The site crashed after preparing and its hold was not
+                        # restorable (it had already been applied elsewhere or
+                        # visibility moved on); numbering must still stay above.
+                        site.vc.observe(tn)
+                    for key, value in site_items:
+                        existing = site.store.object(key).find(tn)
+                        if existing is None:
+                            site.store.install(key, tn, value)
+                        else:  # replayed by recovery before this delivery
+                            existing.value = value
+                    site.locks.release_all(txn.txn_id)
+                    if site.vc.is_registered(txn.txn_id):
+                        site.vc.complete(txn.txn_id)
+                    acks.discard(sid)
+                    if not acks:
+                        self._active.pop(txn.txn_id, None)
+                        txn.mark_committed()
+                        self.counters.note_commit(txn)
+                        self.recorder.record_commit(txn)
+                        result.resolve(None)
 
             txn.meta["apply_commit"] = commit_at
-            for sid in participants:
-                self._send(self.sites[sid], lambda s=sid: commit_at(s), channel="2pc")
+            with activate(tracer, commit_span.context):
+                for sid in participants:
+                    self._send(self.sites[sid], lambda s=sid: commit_at(s), channel="2pc")
 
-        for sid in participants:
-            self._send(self.sites[sid], lambda s=sid: prepare_at(s), channel="2pc")
+        with activate(tracer, commit_span.context):
+            for sid in participants:
+                self._send(self.sites[sid], lambda s=sid: prepare_at(s), channel="2pc")
 
         if self.prepare_timeout is not None:
 

@@ -57,6 +57,7 @@ from repro.errors import (
     VersionNotFound,
 )
 from repro.histories.recorder import HistoryRecorder
+from repro.obs.spans import activate, start_span, txn_context
 from repro.storage.mvstore import MVStore
 from repro.storage.wal import (
     LogRecord,
@@ -173,6 +174,19 @@ class DistributedMV2PL:
     def _send(self, site: _ChanSite, fn: Callable[[], None], channel: str) -> None:
         self.courier.dispatch(lambda: site.receive(fn), channel=channel)
 
+    def _send_for(
+        self, txn: Transaction, site: _ChanSite, fn: Callable[[], None], channel: str
+    ) -> None:
+        """Dispatch on ``txn``'s behalf: inside a delivered handler the
+        ambient context already names the cause; from client code the
+        transaction's root span steps in."""
+        tracer = self.courier.tracer
+        if tracer.enabled:
+            with activate(tracer, tracer.active_span or txn_context(txn)):
+                self._send(site, fn, channel)
+        else:
+            self._send(site, fn, channel)
+
     # -- transactions -------------------------------------------------------------
 
     def begin(
@@ -226,13 +240,16 @@ class DistributedMV2PL:
                 if sid in txn.meta["start_ts"]:  # duplicated delivery
                     return
                 site = self.sites[sid]
-                txn.meta["start_ts"][sid] = make_gtn(site.commit_counter + 1, sid)
-                txn.meta["ctl_copy"][sid] = set(site.ctl)
-                self.counters.note_cc_interaction(txn, "ctl-fetch")
-                self.counters.bump("ctl.copied_entries", len(site.ctl))
+                with start_span(
+                    self.courier.tracer, "snapshot.fetch", txn=txn.txn_id, site=sid
+                ):
+                    txn.meta["start_ts"][sid] = make_gtn(site.commit_counter + 1, sid)
+                    txn.meta["ctl_copy"][sid] = set(site.ctl)
+                    self.counters.note_cc_interaction(txn, "ctl-fetch")
+                    self.counters.bump("ctl.copied_entries", len(site.ctl))
                 fetch_next()
 
-            self._send(self.sites[sid], deliver, channel="snapshot")
+            self._send_for(txn, self.sites[sid], deliver, channel="snapshot")
 
         fetch_next()
 
@@ -264,7 +281,7 @@ class DistributedMV2PL:
                         return
                 result.fail(VersionNotFound(key, start_ts))  # pragma: no cover
 
-            self._send(site, deliver, channel="read")
+            self._send_for(txn, site, deliver, channel="read")
 
         txn.meta["snapshot_ready"].add_callback(ready)
         return result
@@ -312,7 +329,7 @@ class DistributedMV2PL:
 
             lock.add_callback(locked)
 
-        self._send(site, deliver, channel="data")
+        self._send_for(txn, site, deliver, channel="data")
         return result
 
     def write(self, txn: Transaction, key: Hashable, value: Any) -> OpFuture:
@@ -345,7 +362,7 @@ class DistributedMV2PL:
 
             lock.add_callback(locked)
 
-        self._send(site, deliver, channel="data")
+        self._send_for(txn, site, deliver, channel="data")
         return result
 
     # -- termination --------------------------------------------------------------------
@@ -369,6 +386,9 @@ class DistributedMV2PL:
         txn.meta["commit_future"] = result
         acks = set(participants)
         txn.meta["unacked"] = acks
+        tracer = self.courier.tracer
+        commit_span = start_span(tracer, "commit", parent=txn_context(txn), txn=txn.txn_id)
+        result.add_callback(lambda f: commit_span.end(ok=not f.failed))
 
         def commit_at(sid: int) -> None:  # idempotent: guarded by acks
             if sid not in acks:  # duplicated delivery, or already applied
@@ -382,29 +402,42 @@ class DistributedMV2PL:
                 for key, value in txn.write_set.items()
                 if self.site_of_key(key) is site
             ]
-            # Durability first: force the WAL before installing or acking,
-            # so a later crash of this site replays the local commit.
-            for key, value in site_items:
-                site.wal.append(
-                    LogRecord(RecordKind.WRITE, txn.txn_id, key=key, value=value)
-                )
-            site.wal.append(LogRecord(RecordKind.COMMIT, txn.txn_id, tn=local_tn))
-            site.wal.force()
-            for key, value in site_items:
-                site.store.install(key, local_tn, value)
-            site.ctl.add(local_tn)
-            site.locks.release_all(txn.txn_id)
-            acks.discard(sid)
-            if not acks:
-                self._active.pop(txn.txn_id, None)
-                txn.mark_committed()
-                self.counters.note_commit(txn)
-                self.recorder.record_commit(txn)
-                result.resolve(None)
+            # One-phase commit still has a prepare-equivalent point: the
+            # forced WAL write before acking is this site's durability
+            # promise, so it is spanned as the prepare leg; installing and
+            # releasing is the commit leg.  Recovery calls this directly
+            # (no message envelope), hence the commit-span parent fallback.
+            leg_parent = tracer.active_span or commit_span.context
+            with start_span(
+                tracer, "2pc.prepare", parent=leg_parent, txn=txn.txn_id, site=sid
+            ):
+                # Durability first: force the WAL before installing or
+                # acking, so a later crash of this site replays the commit.
+                for key, value in site_items:
+                    site.wal.append(
+                        LogRecord(RecordKind.WRITE, txn.txn_id, key=key, value=value)
+                    )
+                site.wal.append(LogRecord(RecordKind.COMMIT, txn.txn_id, tn=local_tn))
+                site.wal.force()
+            with start_span(
+                tracer, "2pc.commit", parent=leg_parent, txn=txn.txn_id, site=sid
+            ):
+                for key, value in site_items:
+                    site.store.install(key, local_tn, value)
+                site.ctl.add(local_tn)
+                site.locks.release_all(txn.txn_id)
+                acks.discard(sid)
+                if not acks:
+                    self._active.pop(txn.txn_id, None)
+                    txn.mark_committed()
+                    self.counters.note_commit(txn)
+                    self.recorder.record_commit(txn)
+                    result.resolve(None)
 
         txn.meta["apply_commit"] = commit_at
-        for sid in participants:
-            self._send(self.sites[sid], lambda s=sid: commit_at(s), channel="2pc")
+        with activate(tracer, commit_span.context):
+            for sid in participants:
+                self._send(self.sites[sid], lambda s=sid: commit_at(s), channel="2pc")
         return result
 
     def global_version_order(self) -> dict:

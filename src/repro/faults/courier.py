@@ -107,16 +107,18 @@ class FaultyCourier(Courier):
                 "fault.partition.heal", channel=channel, released=len(released)
             )
         for ch, fn in released:
-            self.dispatch(fn, channel=ch)
+            # Parked thunks already carry their span-context envelope from
+            # the original dispatch; re-route, don't re-seal.
+            self._route(fn, ch)
 
     def parked(self, channel: str | None = None) -> int:
         if channel is None:
             return len(self._parked)
         return sum(1 for ch, _ in self._parked if ch == channel)
 
-    # -- dispatch ----------------------------------------------------------------
+    # -- routing (dispatch in the base class seals span contexts first) ----------
 
-    def dispatch(self, fn: Callable[[], None], channel: str = "default") -> None:
+    def _route(self, fn: Callable[[], None], channel: str) -> None:
         if channel in self._held_channels:
             self.schedule.counts.partition_deferrals += 1
             if self.tracer.enabled:

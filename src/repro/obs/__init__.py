@@ -25,21 +25,53 @@ from repro.obs.instrument import (
     subscribe_version_control,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import (
+    CriticalPath,
+    aggregate_phase_shares,
+    critical_path,
+    phase_shares,
+    profile_wallclock,
+)
+from repro.obs.spans import (
+    NULL_SPAN,
+    Span,
+    SpanContext,
+    SpanNode,
+    activate,
+    bind_envelope,
+    build_span_trees,
+    start_span,
+    transaction_trees,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer
 
 __all__ = [
     "ConsoleSummaryExporter",
     "Counter",
+    "CriticalPath",
     "Gauge",
     "Histogram",
     "Instrumentation",
     "JsonlExporter",
     "MetricsRegistry",
+    "NULL_SPAN",
     "NULL_TRACER",
     "NullTracer",
     "RingBufferExporter",
+    "Span",
+    "SpanContext",
+    "SpanNode",
     "TraceEvent",
     "Tracer",
+    "activate",
+    "aggregate_phase_shares",
     "attach_tracer",
+    "bind_envelope",
+    "build_span_trees",
+    "critical_path",
+    "phase_shares",
+    "profile_wallclock",
+    "start_span",
     "subscribe_version_control",
+    "transaction_trees",
 ]

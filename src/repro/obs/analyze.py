@@ -11,7 +11,15 @@ and reconstructs the three views the paper's arguments revolve around:
   transaction spent blocked;
 * **visibility-lag series** — ``lag = tnc - vtnc - 1`` after every counter
   movement, turning EXP-D's single time-weighted average into an
-  inspectable trajectory.
+  inspectable trajectory;
+* **span trees and critical paths** (``--spans``) — per-transaction causal
+  trees rebuilt by :func:`repro.obs.spans.build_span_trees` and profiled by
+  :mod:`repro.obs.profile`.
+
+Analysis is tolerant by construction: unknown event names are ignored and
+known events missing their expected fields are skipped, because a trace may
+come from a newer/older writer or a crashed run — an analyzer that throws
+on the trace it was built to debug is useless.
 
 The ``python -m repro trace`` subcommand is a thin wrapper over
 :func:`main` here.
@@ -64,16 +72,18 @@ def visibility_pairs(events: Iterable[dict[str, Any]]) -> dict[int, tuple[float,
     pairs: dict[int, tuple[float, float | None]] = {}
     discarded: set[int] = set()
     for event in events:
-        name = event["name"]
+        name = event.get("name")
+        number = event.get("number")
+        if number is None:
+            continue
         if name == "vc.register":
-            pairs[event["number"]] = (event["ts"], None)
+            pairs[number] = (event.get("ts", 0.0), None)
         elif name == "vc.discard":
-            discarded.add(event["number"])
+            discarded.add(number)
         elif name == "vc.advance":
-            vtnc = event["number"]
             for tn, (reg_ts, vis_ts) in pairs.items():
-                if vis_ts is None and tn <= vtnc and tn not in discarded:
-                    pairs[tn] = (reg_ts, event["ts"])
+                if vis_ts is None and tn <= number and tn not in discarded:
+                    pairs[tn] = (reg_ts, event.get("ts", 0.0))
     return pairs
 
 
@@ -147,9 +157,11 @@ def blocking_chains(events: TraceDicts) -> list[dict[str, Any]]:
     blocked_on: dict[int, int] = {}  # txn -> first holder it currently waits on
     chains: list[dict[str, Any]] = []
     for event in events:
-        name = event["name"]
+        name = event.get("name")
         if name == "lock.block":
-            txn = event["txn"]
+            txn = event.get("txn")
+            if txn is None:
+                continue
             holders = event.get("holders") or []
             if holders:
                 blocked_on[txn] = holders[0]
@@ -164,9 +176,11 @@ def blocking_chains(events: TraceDicts) -> list[dict[str, Any]]:
                 chain.append(nxt)
                 seen.add(nxt)
                 cursor = nxt
-            chains.append({"ts": event["ts"], "key": event.get("key"), "chain": chain})
+            chains.append(
+                {"ts": event.get("ts", 0.0), "key": event.get("key"), "chain": chain}
+            )
         elif name == "lock.grant" and event.get("waited"):
-            blocked_on.pop(event["txn"], None)
+            blocked_on.pop(event.get("txn"), None)
         elif name in ("txn.abort", "txn.commit", "lock.release"):
             txn = event.get("txn")
             if txn is not None:
@@ -199,9 +213,9 @@ def render_blocking(events: TraceDicts, limit: int = 50) -> str:
 def visibility_lag_series(events: TraceDicts) -> list[tuple[float, int]]:
     """``(ts, lag)`` after every VC counter movement, in trace order."""
     return [
-        (event["ts"], event["lag"])
+        (event.get("ts", 0.0), event["lag"])
         for event in events
-        if event["name"] in ("vc.register", "vc.advance", "vc.discard")
+        if event.get("name") in ("vc.register", "vc.advance", "vc.discard")
         and "lag" in event
     ]
 
@@ -228,6 +242,39 @@ def render_lag_series(events: TraceDicts, max_rows: int = 40, width: int = 40) -
     return "\n".join(lines)
 
 
+# -- span trees + critical paths ---------------------------------------------------
+
+
+def render_spans(events: TraceDicts, limit: int = 50) -> str:
+    """Per-transaction span trees with their critical-path profiles.
+
+    Imports lazily so the flat-event sections keep working even if the span
+    modules are unavailable (e.g. a stripped vendored copy).
+    """
+    from repro.obs.profile import aggregate_phase_shares, render_critical_path
+    from repro.obs.spans import render_tree, transaction_trees
+
+    trees = transaction_trees(events)
+    if not trees:
+        return "no span events in trace (was the run traced with spans?)"
+    lines: list[str] = []
+    shown = 0
+    for txn, root in sorted(trees.items(), key=lambda kv: str(kv[0])):
+        if shown >= limit:
+            lines.append(f"... ({len(trees) - limit} more transactions)")
+            break
+        shown += 1
+        lines.append(render_tree(root))
+        if root.end is not None:
+            lines.append(render_critical_path(root))
+        lines.append("")
+    shares = aggregate_phase_shares(trees.values())
+    if shares:
+        summary = "  ".join(f"{p}={s:.1%}" for p, s in shares.items())
+        lines.append(f"aggregate critical-path phase shares: {summary}")
+    return "\n".join(lines).rstrip("\n")
+
+
 # -- summary + CLI -----------------------------------------------------------------
 
 
@@ -246,13 +293,19 @@ def render_summary(events: TraceDicts) -> str:
 
 
 def main(argv: list[str]) -> int:
-    """``python -m repro trace <file> [--timelines] [--blocking] [--lag] [--summary]``.
+    """``python -m repro trace <file> [--timelines] [--blocking] [--lag] [--spans] [--summary]``.
 
-    With no section flags, all four sections print.  ``--limit N`` caps the
-    rows of the timeline and blocking sections (default 50).
+    With no section flags, all five sections print.  ``--limit N`` caps the
+    rows of the timeline, blocking, and span sections (default 50).
     """
     args = list(argv)
-    sections = {"timelines": False, "blocking": False, "lag": False, "summary": False}
+    sections = {
+        "timelines": False,
+        "blocking": False,
+        "lag": False,
+        "spans": False,
+        "summary": False,
+    }
     limit = 50
     path: str | None = None
     index = 0
@@ -293,6 +346,12 @@ def main(argv: list[str]) -> int:
     except (OSError, ValueError) as exc:
         print(f"cannot load trace: {exc}")
         return 1
+    if not events:
+        print(
+            f"trace file {path!r} contains no events — "
+            "was the run traced (and the exporter closed)?"
+        )
+        return 1
     if not any(sections.values()):
         sections = dict.fromkeys(sections, True)
     blocks: list[str] = []
@@ -304,6 +363,8 @@ def main(argv: list[str]) -> int:
         blocks.append("== blocking chains ==\n" + render_blocking(events, limit))
     if sections["lag"]:
         blocks.append("== visibility lag ==\n" + render_lag_series(events))
+    if sections["spans"]:
+        blocks.append("== span trees & critical paths ==\n" + render_spans(events, limit))
     try:
         print("\n\n".join(blocks))
     except BrokenPipeError:  # e.g. `... | head`; the reader got what it wanted

@@ -18,8 +18,17 @@ is a first-class subsystem rather than debug printf.  Design constraints:
   time; exporters never see events from a disabled tracer.
 
 Event names form dotted families (``txn.*``, ``cc.*``, ``vc.*``,
-``lock.*``, ``gc.*``, ``wal.*``, ``sim.*``) — the schema is documented in
-``docs/observability.md`` and consumed by :mod:`repro.obs.analyze`.
+``lock.*``, ``gc.*``, ``wal.*``, ``sim.*``, ``span.*``) — the schema is
+documented in ``docs/observability.md`` and consumed by
+:mod:`repro.obs.analyze`.
+
+Causal spans (:mod:`repro.obs.spans`) build on two small hooks here: the
+tracer hands out process-unique span/trace ids, and it carries an
+``active_span`` slot — the ambient :class:`~repro.obs.spans.SpanContext`
+restored around courier message deliveries.  While a span is active, every
+flat ``emit`` is stamped with its ``span``/``trace`` ids, so ordinary
+events (``wal.force``, ``lock.grant``, ``fault.drop``) attach to the span
+tree without their call sites knowing about spans at all.
 """
 
 from __future__ import annotations
@@ -112,10 +121,22 @@ class Tracer:
     ):
         self._exporters: list[Any] = list(exporters)
         self._seq = itertools.count()
+        self._span_seq = itertools.count(1)
+        self._trace_seq = itertools.count(1)
+        #: Ambient span context (see repro.obs.spans); None between spans.
+        self.active_span: Any = None
         self.clock: Callable[[], float] = clock if clock is not None else self._tick
 
     def _tick(self) -> float:
         return float(next(self._seq))
+
+    # -- span id allocation (used by repro.obs.spans) --------------------------
+
+    def next_span_id(self) -> int:
+        return next(self._span_seq)
+
+    def next_trace_id(self) -> int:
+        return next(self._trace_seq)
 
     # -- exporter management --------------------------------------------------
 
@@ -131,13 +152,25 @@ class Tracer:
 
     # -- emitting --------------------------------------------------------------
 
-    def emit(self, name: str, **fields: Any) -> None:
-        """Stamp and export one event.  Cheap no-op when no exporter listens."""
+    def emit(self, name: str, **fields: Any) -> TraceEvent | None:
+        """Stamp and export one event.  Cheap no-op when no exporter listens.
+
+        While a span context is active (see :mod:`repro.obs.spans`), the
+        event is stamped with its ``span``/``trace`` ids unless the caller
+        supplied them — this is how flat events from components that know
+        nothing about spans end up attached to the right span tree.
+        Returns the exported event (the span layer reads its timestamp).
+        """
         if not self._exporters:
-            return
+            return None
+        active = self.active_span
+        if active is not None and "span" not in fields:
+            fields["span"] = active.span_id
+            fields["trace"] = active.trace_id
         event = TraceEvent(name, self.clock(), fields)
         for exporter in self._exporters:
             exporter.export(event)
+        return event
 
     def span(self, name: str, **fields: Any) -> _Span:
         """Time a region: ``with tracer.span("gc.pass"): ...``."""

@@ -176,3 +176,49 @@ class TestCli:
         path = write_trace(tmp_path / "t.jsonl", VC_EVENTS)
         assert repro_main.main(["trace", path, "--summary"]) == 0
         assert "4 events" in capsys.readouterr().out
+
+    def test_empty_file_clear_message_not_traceback(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main([str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "contains no events" in out
+
+    def test_unknown_event_types_tolerated(self, tmp_path, capsys):
+        events = VC_EVENTS + [
+            {"name": "totally.new.event", "ts": 5.0, "whatever": True},
+            {"name": "vc.register", "ts": 6.0},  # no number — skipped, not fatal
+            {"name": "lock.block", "ts": 7.0},  # no txn — skipped, not fatal
+        ]
+        path = write_trace(tmp_path / "t.jsonl", events)
+        assert main([path]) == 0
+        assert "== summary ==" in capsys.readouterr().out
+
+
+class TestSpansSection:
+    SPAN_EVENTS = [
+        {"name": "span.start", "ts": 0.0, "span": 1, "parent": None,
+         "trace": 1, "op": "txn", "txn": 7},
+        {"name": "span.start", "ts": 1.0, "span": 2, "parent": 1,
+         "trace": 1, "op": "msg", "channel": "2pc"},
+        {"name": "span.end", "ts": 3.0, "span": 2, "trace": 1, "ok": True},
+        {"name": "span.end", "ts": 4.0, "span": 1, "trace": 1, "ok": True},
+    ]
+
+    def test_spans_flag_renders_trees_and_critical_path(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", self.SPAN_EVENTS)
+        assert main([path, "--spans"]) == 0
+        out = capsys.readouterr().out
+        assert "== span trees & critical paths ==" in out
+        assert "msg[2pc]" in out
+        assert "network" in out  # critical-path phase attribution
+
+    def test_spans_included_in_default_sections(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", self.SPAN_EVENTS)
+        assert main([path]) == 0
+        assert "== span trees & critical paths ==" in capsys.readouterr().out
+
+    def test_spanless_trace_says_so(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", VC_EVENTS)
+        assert main([path, "--spans"]) == 0
+        assert "no span events" in capsys.readouterr().out

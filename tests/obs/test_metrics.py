@@ -74,6 +74,45 @@ class TestHistogram:
         hist.record(1000.0)
         assert hist.p50 == 1000.0
 
+    def test_empty_histogram_everywhere_zero(self):
+        hist = Histogram("h")
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert hist.quantile(q) == 0.0
+        assert hist.mean == 0.0
+        assert (hist.p50, hist.p95, hist.p99) == (0.0, 0.0, 0.0)
+
+    def test_single_sample_all_quantiles_equal_it(self):
+        hist = Histogram("h")
+        hist.record(42.0)
+        for q in (0.0, 0.01, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 42.0
+
+    def test_single_zero_sample(self):
+        hist = Histogram("h")
+        hist.record(0.0)
+        assert hist.count == 1
+        assert hist.p99 == 0.0  # clamped to the maximum, not the bucket bound
+
+    def test_saturating_counts_in_one_bucket(self):
+        # Every sample lands in the same bucket: the cumulative-rank scan
+        # crosses on the first bucket for every q, and the answer stays the
+        # recorded value no matter how large the count grows.
+        hist = Histogram("h")
+        for _ in range(50_000):
+            hist.record(5.0)
+        assert hist.count == 50_000
+        for q in (0.01, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 5.0
+        assert hist.mean == pytest.approx(5.0)
+
+    def test_quantile_rejects_out_of_range_q(self):
+        hist = Histogram("h")
+        hist.record(1.0)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+
 
 class TestSnapshot:
     def test_snapshot_structure(self):
