@@ -35,13 +35,17 @@ from repro.core import (
 from repro.errors import (
     AbortReason,
     CorruptLogError,
+    DeadlineExceeded,
     DeadlockError,
+    Overloaded,
     ProtocolError,
     ReproError,
     SiteUnavailable,
     TransactionAborted,
     ValidationError,
     VersionNotFound,
+    is_infrastructure,
+    is_retryable,
 )
 from repro.faults import (
     FaultInvariantChecker,
@@ -75,6 +79,13 @@ from repro.protocols import (
     VCOCCScheduler,
     VCTOScheduler,
 )
+from repro.qos import (
+    AdmissionController,
+    BackoffPolicy,
+    BreakerBoard,
+    CircuitBreaker,
+    RetryBudget,
+)
 from repro.storage import GarbageCollector, MVStore, SVStore
 
 __version__ = "1.0.0"
@@ -82,12 +93,19 @@ __version__ = "1.0.0"
 __all__ = [
     "AbortReason",
     "AdaptiveVCScheduler",
+    "AdmissionController",
+    "BackoffPolicy",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "RetryBudget",
     "ConsoleSummaryExporter",
     "CorruptLogError",
     "SiteUnavailable",
     "Database",
     "RecoverableVC2PLScheduler",
+    "DeadlineExceeded",
     "DeadlockError",
+    "Overloaded",
     "FaultInvariantChecker",
     "FaultSchedule",
     "FaultSpec",
@@ -124,7 +142,9 @@ __all__ = [
     "assert_one_copy_serializable",
     "attach_tracer",
     "check_one_copy_serializable",
+    "is_infrastructure",
     "is_one_copy_serializable",
+    "is_retryable",
     "run_campaign",
     "run_drill",
 ]

@@ -15,11 +15,13 @@ Commands:
 * ``drill [--seeds N ...]`` — seeded fault-injection campaigns over the
   distributed protocols: lossy/duplicating/partitioned network plus site
   crash-restarts, with the paper's invariants checked throughout (see
-  ``docs/faults.md``);
+  ``docs/faults.md``); ``drill --campaign overload`` instead runs the QoS
+  overload campaign — admission shedding, deadlines, and the read-only
+  fast-path guarantee (see ``docs/robustness.md``);
 * ``bench [--quick ...]`` — seeded benchmark suites emitting versioned
   ``BENCH_<rev>.json`` artifacts (throughput, latency percentiles, abort
-  rates, critical-path phase shares) with a regression comparator for CI
-  (see ``docs/benchmarks.md``).
+  rates, critical-path phase shares, plus a ``qos`` overload block) with a
+  regression comparator for CI (see ``docs/benchmarks.md``).
 """
 
 from __future__ import annotations

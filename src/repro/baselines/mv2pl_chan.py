@@ -36,7 +36,7 @@ from repro.cc.lock_manager import LockManager
 from repro.cc.locks import LockMode
 from repro.core.futures import OpFuture, resolved
 from repro.core.transaction import Transaction
-from repro.errors import AbortReason, DeadlockError, ProtocolError, VersionNotFound
+from repro.errors import AbortReason, ProtocolError, TransactionAborted, VersionNotFound
 from repro.storage.mvstore import MVStore
 
 
@@ -162,9 +162,11 @@ class MV2PLScheduler(BaselineScheduler):
     # -- plumbing ------------------------------------------------------------------------
 
     def _deadlock_abort(self, txn: Transaction, error: BaseException | None, result: OpFuture) -> None:
-        assert isinstance(error, DeadlockError)
+        # Deadlock victim or, with QoS deadlines, an expired wait:
+        # the abort reason travels on the error itself.
+        assert isinstance(error, TransactionAborted)
         if txn.is_active:
-            self.abort(txn, AbortReason.DEADLOCK_VICTIM)
+            self.abort(txn, error.reason)
         result.fail(error)
 
     def _note_block(self, txn_id: int, key: Hashable) -> None:

@@ -15,7 +15,7 @@ from repro.cc.lock_manager import LockManager
 from repro.cc.locks import LockMode
 from repro.core.futures import OpFuture, resolved
 from repro.core.transaction import Transaction
-from repro.errors import AbortReason, DeadlockError, ProtocolError
+from repro.errors import AbortReason, ProtocolError, TransactionAborted
 from repro.storage.svstore import SVStore
 
 
@@ -107,9 +107,11 @@ class SV2PLScheduler(BaselineScheduler):
         self._complete_abort(txn, reason)
 
     def _deadlock_abort(self, txn: Transaction, error: BaseException | None, result: OpFuture) -> None:
-        assert isinstance(error, DeadlockError)
+        # Deadlock victim or, with QoS deadlines, an expired wait:
+        # the abort reason travels on the error itself.
+        assert isinstance(error, TransactionAborted)
         if txn.is_active:
-            self.abort(txn, AbortReason.DEADLOCK_VICTIM)
+            self.abort(txn, error.reason)
         result.fail(error)
 
     def _note_block(self, txn_id: int, key: Hashable) -> None:

@@ -41,7 +41,7 @@ from repro.cc.locks import LockMode
 from repro.cc.waitlist import WaitList
 from repro.core.futures import OpFuture, resolved
 from repro.core.transaction import Transaction
-from repro.errors import AbortReason, DeadlockError, ProtocolError, TransactionAborted
+from repro.errors import AbortReason, ProtocolError, TransactionAborted
 from repro.storage.mvstore import MVStore
 
 
@@ -228,9 +228,11 @@ class WeihlTIScheduler(BaselineScheduler):
                     del self._tentative[key]
 
     def _deadlock_abort(self, txn: Transaction, error: BaseException | None, result: OpFuture) -> None:
-        assert isinstance(error, DeadlockError)
+        # Deadlock victim or, with QoS deadlines, an expired wait:
+        # the abort reason travels on the error itself.
+        assert isinstance(error, TransactionAborted)
         if txn.is_active:
-            self.abort(txn, AbortReason.DEADLOCK_VICTIM)
+            self.abort(txn, error.reason)
         result.fail(error)
 
     def _note_block(self, txn_id: int, key: Hashable) -> None:

@@ -193,6 +193,31 @@ def bench_protocol(
     }
 
 
+def bench_qos(seed: int) -> dict[str, Any]:
+    """One overload campaign → the artifact's ``qos`` block.
+
+    Headline robustness numbers (shed rate, deadline-miss rate, read-only
+    p99 under overload vs. the uncontended baseline) ride along in every
+    artifact.  The block is *top-level*, not a protocol entry, so the
+    regression comparator — which iterates ``baseline["protocols"]`` only —
+    ignores it and older baselines stay comparable.
+    """
+    from repro.qos.overload import run_overload_campaign
+
+    report = run_overload_campaign(seed, duration=200.0, verify_determinism=False)
+    return {
+        "shed_rate": round(report.shed_rate, 6),
+        "deadline_miss_rate": round(report.deadline_miss_rate, 6),
+        "ro_p99_baseline": round(report.baseline.ro_latency.p99, 6),
+        "ro_p99_under_overload": round(report.overload.ro_latency.p99, 6),
+        "ro_p99_ratio": round(report.ro_p99_ratio, 6),
+        "ro_shed": report.overload.ro_shed,
+        "staleness_max": report.overload.staleness.maximum,
+        "ok": report.ok,
+        "violations": list(report.violations),
+    }
+
+
 def run_suite(
     suite: Suite, seed: int = 0, protocols: tuple[str, ...] | None = None
 ) -> dict[str, Any]:
@@ -210,6 +235,7 @@ def run_suite(
     }
     for protocol in selected:
         artifact["protocols"][protocol] = bench_protocol(protocol, suite, seed)
+    artifact["qos"] = bench_qos(seed)
     return artifact
 
 
@@ -310,6 +336,16 @@ def render_artifact(artifact: dict[str, Any]) -> str:
             f"{entry.get('latency', {}).get('rw', {}).get('p99', 0.0):>8.3f}  "
             f"{entry.get('latency', {}).get('ro', {}).get('p99', 0.0):>8.3f}  "
             f"{entry.get('abort_rate_rw', 0.0):>7.2%}  {phase_text}"
+        )
+    qos = artifact.get("qos")
+    if qos:
+        verdict = "ok" if qos.get("ok") else "FAIL"
+        lines.append(
+            f"qos [{verdict}]: shed={qos.get('shed_rate', 0.0):.2%} "
+            f"deadline_miss={qos.get('deadline_miss_rate', 0.0):.2%} "
+            f"ro_p99 {qos.get('ro_p99_baseline', 0.0):.3f} -> "
+            f"{qos.get('ro_p99_under_overload', 0.0):.3f} under overload "
+            f"({qos.get('ro_p99_ratio', 0.0):.2f}x)"
         )
     return "\n".join(lines)
 

@@ -16,6 +16,13 @@ Grant discipline:
   is granted as soon as the requester is the sole holder;
 * releases grant the longest compatible prefix of the queue.
 
+Deadlines (:mod:`repro.qos`): a request may carry an absolute virtual-time
+deadline.  The manager stays clock-free — an external reaper calls
+:meth:`LockManager.expire_due` with the current time and every queued
+request whose deadline has passed fails with
+:class:`~repro.errors.DeadlineExceeded` and is removed from the queue
+(no leaked waiters, no spurious wakeups for those behind it).
+
 Invariant relied on by callers: a transaction has at most one pending
 request at a time (drivers issue operations sequentially per transaction).
 """
@@ -27,18 +34,26 @@ from typing import Callable, Hashable
 from repro.cc.deadlock import VictimPolicy, WaitsForGraph, choose_victim
 from repro.cc.locks import LockMode, compatible
 from repro.core.futures import OpFuture
-from repro.errors import DeadlockError, ProtocolError
+from repro.errors import DeadlineExceeded, DeadlockError, ProtocolError
 from repro.obs.tracer import NULL_TRACER
 
 
 class _Request:
-    __slots__ = ("txn_id", "mode", "future", "upgrade")
+    __slots__ = ("txn_id", "mode", "future", "upgrade", "deadline")
 
-    def __init__(self, txn_id: int, mode: LockMode, future: OpFuture, upgrade: bool):
+    def __init__(
+        self,
+        txn_id: int,
+        mode: LockMode,
+        future: OpFuture,
+        upgrade: bool,
+        deadline: float | None = None,
+    ):
         self.txn_id = txn_id
         self.mode = mode
         self.future = future
         self.upgrade = upgrade
+        self.deadline = deadline
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "upgrade" if self.upgrade else "acquire"
@@ -118,8 +133,19 @@ class LockManager:
 
     # -- acquire ------------------------------------------------------------------
 
-    def acquire(self, txn_id: int, key: Hashable, mode: LockMode) -> OpFuture:
-        """Request ``mode`` on ``key``; the future resolves when granted."""
+    def acquire(
+        self,
+        txn_id: int,
+        key: Hashable,
+        mode: LockMode,
+        deadline: float | None = None,
+    ) -> OpFuture:
+        """Request ``mode`` on ``key``; the future resolves when granted.
+
+        ``deadline`` (absolute virtual time) only matters if the request
+        blocks: a later :meth:`expire_due` sweep fails it with
+        :class:`DeadlineExceeded` instead of leaving it to wait forever.
+        """
         if txn_id in self._pending_key:
             raise ProtocolError(
                 f"transaction {txn_id} already has a pending lock request on "
@@ -134,7 +160,7 @@ class LockManager:
             return future
 
         upgrade = held is LockMode.SHARED and mode is LockMode.EXCLUSIVE
-        request = _Request(txn_id, mode, future, upgrade)
+        request = _Request(txn_id, mode, future, upgrade, deadline)
 
         if self._grantable(state, request):
             self._grant(state, request, key)
@@ -228,6 +254,70 @@ class LockManager:
         self.waits_for.remove_waiter(txn_id)
         # Removing a waiter can unblock those queued behind it.
         self._grant_scan(key, state)
+
+    # -- deadlines (repro.qos) ---------------------------------------------------------
+
+    def expire_due(self, now: float) -> list[int]:
+        """Fail every queued request whose deadline has passed.
+
+        Called by a QoS reaper (or a test) with the current virtual time.
+        Each expired request's future fails with :class:`DeadlineExceeded`,
+        the request leaves its queue, and the queue behind it is re-scanned
+        so removal never strands a grantable waiter.  Returns the ids of
+        transactions whose requests expired.
+        """
+        expired: list[int] = []
+        # One expiry at a time, restarting the scan after each: failing a
+        # future cascades synchronously (abort -> release_all -> grant
+        # scans), which can grant or cancel other overdue requests before
+        # we reach them — a pre-collected batch would go stale.
+        while True:
+            found: tuple[Hashable, _LockState, _Request] | None = None
+            for key, state in self._table.items():
+                for request in state.queue:
+                    if request.deadline is not None and request.deadline <= now:
+                        found = (key, state, request)
+                        break
+                if found is not None:
+                    break
+            if found is None:
+                return expired
+            key, state, request = found
+            state.queue.remove(request)
+            self._pending_key.pop(request.txn_id, None)
+            self.waits_for.remove_waiter(request.txn_id)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "qos.deadline.lock",
+                    txn=request.txn_id,
+                    key=key,
+                    deadline=request.deadline,
+                    now=now,
+                )
+            expired.append(request.txn_id)
+            self._grant_scan(key, state)
+            request.future.fail(
+                DeadlineExceeded(request.txn_id, request.deadline or 0.0, now)
+            )
+
+    def cancel_request(self, txn_id: int, error: BaseException) -> bool:
+        """Fail ``txn_id``'s pending request with ``error``.
+
+        Unlike :meth:`_cancel_pending` (used on abort, where the caller
+        already settles the operation future), this *fails* the pending
+        lock future — the path a deadline timer or breaker uses to evict a
+        specific waiter.  Returns False when nothing was pending.
+        """
+        key = self._pending_key.pop(txn_id, None)
+        if key is None:
+            return False
+        state = self._table[key]
+        request = next(r for r in state.queue if r.txn_id == txn_id)
+        state.queue.remove(request)
+        self.waits_for.remove_waiter(txn_id)
+        self._grant_scan(key, state)
+        request.future.fail(error)
+        return True
 
     def _grant_scan(self, key: Hashable, state: _LockState) -> None:
         """Grant the longest now-compatible prefix of the wait queue."""

@@ -174,14 +174,35 @@ class Scheduler(abc.ABC):
         #: Structured-event tracer; NULL_TRACER unless attach_tracer() wired
         #: a real one through this scheduler's components.
         self.tracer: Tracer = NULL_TRACER
+        #: Optional :class:`repro.qos.AdmissionController` gating read-write
+        #: begins.  Read-only transactions NEVER pass through admission —
+        #: the paper's fast path must stay unconditional.  Assign after
+        #: construction (``scheduler.admission = AdmissionController(...)``).
+        self.admission = None
         self._active: dict[int, Transaction] = {}
 
     # -- lifecycle ---------------------------------------------------------------
 
-    def begin(self, read_only: bool = False) -> Transaction:
-        """Start a transaction of the given class and return its descriptor."""
+    def begin(self, read_only: bool = False, deadline: float | None = None) -> Transaction:
+        """Start a transaction of the given class and return its descriptor.
+
+        ``deadline`` is an optional absolute virtual-time deadline carried
+        in ``txn.meta["qos.deadline"]``; blocking components (lock manager,
+        wait lists, 2PC legs) enforce it.  When an admission controller is
+        installed, a read-write begin must first take a token — raising
+        :class:`~repro.errors.Overloaded` when over capacity — and returns
+        it at finish.  Read-only begins bypass admission entirely.
+        """
         txn_class = TxnClass.READ_ONLY if read_only else TxnClass.READ_WRITE
+        admitted = False
+        if self.admission is not None and not read_only:
+            self.admission.admit()  # raises Overloaded when shed
+            admitted = True
         txn = Transaction(txn_class)
+        if admitted:
+            txn.meta["qos.admitted"] = True
+        if deadline is not None:
+            txn.meta["qos.deadline"] = float(deadline)
         self._active[txn.txn_id] = txn
         self.counters.note_begin(txn)
         self.recorder.record_begin(txn)
@@ -212,6 +233,8 @@ class Scheduler(abc.ABC):
 
     def _finish(self, txn: Transaction) -> None:
         self._active.pop(txn.txn_id, None)
+        if txn.meta.pop("qos.admitted", None) and self.admission is not None:
+            self.admission.release()
 
     def active_transactions(self) -> list[Transaction]:
         return list(self._active.values())

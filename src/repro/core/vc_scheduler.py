@@ -59,6 +59,14 @@ class VersionControlledScheduler(Scheduler):
             txn.sn = self.vc.vc_start()
             self.counters.note_vc_interaction(txn, "start")
             self.ro_registry.register(txn)
+            # The read-only fast path's reported staleness bound: the
+            # snapshot at sn = vtnc trails the newest assigned transaction
+            # number by exactly vc.lag (see docs/robustness.md).
+            txn.meta["qos.staleness"] = self.vc.lag
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "qos.ro_snapshot", txn=txn.txn_id, sn=txn.sn, staleness=self.vc.lag
+                )
         else:
             self._rw_begin(txn)
 

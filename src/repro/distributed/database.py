@@ -61,12 +61,15 @@ from repro.distributed.courier import Courier
 from repro.distributed.dvc import DistributedVersionControl
 from repro.errors import (
     AbortReason,
+    DeadlineExceeded,
     ProtocolError,
+    SiteUnavailable,
     TransactionAborted,
     VersionNotFound,
 )
 from repro.histories.recorder import HistoryRecorder
 from repro.obs.spans import activate, start_span, txn_context
+from repro.qos.breaker import BreakerBoard
 from repro.storage.mvstore import MVStore
 from repro.storage.wal import (
     LogRecord,
@@ -234,6 +237,7 @@ class DistributedVCDatabase:
         courier: Courier | None = None,
         checked: bool = True,
         prepare_timeout: float | None = None,
+        breakers: BreakerBoard | None = None,
     ):
         if n_sites < 1:
             raise ValueError("n_sites must be >= 1")
@@ -250,8 +254,21 @@ class DistributedVCDatabase:
         #: Coordinator-side timeout for the 2PC prepare round; None = wait
         #: forever.  Only effective when the courier has a clock (sim mode).
         self.prepare_timeout = prepare_timeout
+        #: Optional per-site circuit breakers (repro.qos): operations
+        #: addressed to a site whose breaker is open fail fast with
+        #: ``SITE_UNAVAILABLE`` instead of parking on a dead site.  None
+        #: disables the feature (the pre-QoS behavior).
+        self.breakers = breakers
+        if breakers is not None and self.courier.sim is not None:
+            sim = self.courier.sim
+            breakers.bind_clock(lambda: sim.now)
         #: Active read-write transactions, for crash handling.
         self._active: dict[int, Transaction] = {}
+
+    def _now(self) -> float:
+        """Virtual time when the courier has a clock; 0.0 otherwise."""
+        sim = self.courier.sim
+        return sim.now if sim is not None else 0.0
 
     # -- placement -----------------------------------------------------------------
 
@@ -294,6 +311,7 @@ class DistributedVCDatabase:
         read_only: bool = False,
         origin_site: int | None = None,
         fresh: bool = False,
+        deadline: float | None = None,
     ) -> Transaction:
         """Start a transaction.
 
@@ -306,6 +324,13 @@ class DistributedVCDatabase:
         counted), guaranteeing the snapshot covers everything completed
         anywhere at begin time.  Any start number is equally consistent —
         freshness only trades messages and potential waiting for currency.
+
+        ``deadline`` (absolute virtual time, read-write only) bounds how
+        long the transaction may block or sit in 2PC: a virtual-time timer
+        aborts it with ``DEADLINE_EXCEEDED`` if it has not reached the 2PC
+        decision point by then.  Past the decision point the commit always
+        completes — 2PC has promised it — and the late deadline is only
+        counted (``qos.deadline.too_late``).
         """
         txn = Transaction(TxnClass.READ_ONLY if read_only else TxnClass.READ_WRITE)
         self.counters.note_begin(txn)
@@ -318,10 +343,47 @@ class DistributedVCDatabase:
             else:
                 txn.sn = origin.vc.vc_start()
             self.counters.note_vc_interaction(txn, "start")
+            # Reported staleness bound: held-but-invisible commits queued at
+            # the origin site when the snapshot was taken.
+            txn.meta["qos.staleness"] = origin.vc.queue_length()
         else:
             txn.meta["participants"] = set()
             self._active[txn.txn_id] = txn
+            if deadline is not None:
+                txn.meta["qos.deadline"] = float(deadline)
+                self._arm_deadline(txn, float(deadline))
         return txn
+
+    def _arm_deadline(self, txn: Transaction, deadline: float) -> None:
+        """Virtual-time timer enforcing ``txn``'s deadline (pre-decision only)."""
+
+        def on_deadline() -> None:
+            if txn.is_finished:
+                return
+            if txn.tn is not None:
+                # Past the 2PC decision point: the commit must complete.
+                self.counters.bump("qos.deadline.too_late")
+                return
+            self.counters.bump("qos.deadline.aborts")
+            self._fault_abort(txn, AbortReason.DEADLINE_EXCEEDED)
+
+        delay = max(deadline - self._now(), 0.0)
+        if not self.courier.call_later(delay, on_deadline):
+            # No clock (immediate/manual courier): fall back to passive
+            # checks at operation entry (_check_deadline).
+            self.counters.bump("qos.deadline.unarmed")
+
+    def _check_deadline(self, txn: Transaction) -> bool:
+        """Passive deadline check at operation entry; True when expired."""
+        deadline = txn.meta.get("qos.deadline")
+        if deadline is None or self._now() < deadline:
+            return False
+        if txn.tn is None:
+            self.counters.bump("qos.deadline.aborts")
+            self._fault_abort(txn, AbortReason.DEADLINE_EXCEEDED)
+            return True
+        self.counters.bump("qos.deadline.too_late")
+        return False
 
     def _track_op(self, txn: Transaction, result: OpFuture) -> None:
         """Remember the one in-flight operation so fault aborts can fail it."""
@@ -333,6 +395,18 @@ class DistributedVCDatabase:
     def _ro_read(self, txn: Transaction, key: Hashable) -> OpFuture:
         site = self.site_of_key(key)
         result = OpFuture(label=f"r{txn.txn_id}[{key}]@s{site.site_id}")
+        if self.breakers is not None and (
+            site.crashed or not self.breakers.allow(site.site_id)
+        ):
+            # Fail fast with a typed, retryable error rather than parking a
+            # snapshot read on a dead site.  The transaction itself is NOT
+            # aborted — the read-only guarantee: the client may re-issue
+            # the read (or read elsewhere) at the same snapshot.
+            if site.crashed:
+                self.breakers.record_failure(site.site_id)
+            self.counters.bump("qos.breaker.fastfail")
+            result.fail(SiteUnavailable(site.site_id))
+            return result
         assert txn.sn is not None
         sn = int(txn.sn)
         started = False
@@ -354,6 +428,7 @@ class DistributedVCDatabase:
                     return
                 txn.record_read(key, version.tn)
                 self.recorder.record_read(txn, key, version.tn)
+                self._breaker_success(site.site_id)
                 result.resolve(version.value)
 
             visible.add_callback(ready)
@@ -372,6 +447,8 @@ class DistributedVCDatabase:
         self.counters.note_cc_interaction(txn, "r-lock")
         result = OpFuture(label=f"r{txn.txn_id}[{key}]@s{site.site_id}")
         self._track_op(txn, result)
+        if self._check_deadline(txn) or self._breaker_reject(txn, site):
+            return result
         started = False
 
         def deliver() -> None:
@@ -379,7 +456,9 @@ class DistributedVCDatabase:
             if started or not txn.is_active or result.done:
                 return
             started = True
-            lock = site.locks.acquire(txn.txn_id, key, LockMode.SHARED)
+            lock = site.locks.acquire(
+                txn.txn_id, key, LockMode.SHARED, deadline=txn.meta.get("qos.deadline")
+            )
 
             def locked(done: OpFuture) -> None:
                 if done.failed:
@@ -387,6 +466,7 @@ class DistributedVCDatabase:
                     return
                 if result.done:  # fault abort raced the grant
                     return
+                self._breaker_success(site.site_id)
                 if key in txn.write_set:
                     txn.record_read(key, -1)
                     self.recorder.record_read(txn, key, None)
@@ -411,6 +491,8 @@ class DistributedVCDatabase:
         self.counters.note_cc_interaction(txn, "w-lock")
         result = OpFuture(label=f"w{txn.txn_id}[{key}]@s{site.site_id}")
         self._track_op(txn, result)
+        if self._check_deadline(txn) or self._breaker_reject(txn, site):
+            return result
         started = False
 
         def deliver() -> None:
@@ -418,7 +500,9 @@ class DistributedVCDatabase:
             if started or not txn.is_active or result.done:
                 return
             started = True
-            lock = site.locks.acquire(txn.txn_id, key, LockMode.EXCLUSIVE)
+            lock = site.locks.acquire(
+                txn.txn_id, key, LockMode.EXCLUSIVE, deadline=txn.meta.get("qos.deadline")
+            )
 
             def locked(done: OpFuture) -> None:
                 if done.failed:
@@ -426,6 +510,7 @@ class DistributedVCDatabase:
                     return
                 if result.done:  # fault abort raced the grant
                     return
+                self._breaker_success(site.site_id)
                 txn.record_write(key, value)
                 self.recorder.record_write(txn, key)
                 result.resolve(None)
@@ -446,11 +531,13 @@ class DistributedVCDatabase:
             self.recorder.record_commit(txn)
             result.resolve(None)
             return result
+        txn.meta["commit_future"] = result
+        if self._check_deadline(txn):
+            return result
         participants: Iterable[int] = sorted(txn.meta["participants"])
         if not participants:
             # Touched nothing: commit trivially with a number from site 1.
             participants = [next(iter(self.sites))]
-        txn.meta["commit_future"] = result
         self._two_phase_commit(txn, list(participants), result)
         return result
 
@@ -542,20 +629,32 @@ class DistributedVCDatabase:
             for sid in participants:
                 self._send(self.sites[sid], lambda s=sid: prepare_at(s), channel="2pc")
 
-        if self.prepare_timeout is not None:
+        # The effective prepare timeout is tightened by the transaction's
+        # deadline: there is no point waiting for holds past the instant the
+        # deadline timer would abort the 2PC anyway.
+        timeout = self.prepare_timeout
+        deadline = txn.meta.get("qos.deadline")
+        if deadline is not None:
+            budget = max(deadline - self._now(), 0.0)
+            timeout = budget if timeout is None else min(timeout, budget)
+        if timeout is not None:
 
             def on_timeout() -> None:
                 if txn.is_active and txn.tn is None:
                     # Still pre-decision: abort is safe (no site installed
                     # anything; holds are discarded by the abort path).
                     self.counters.bump("2pc.prepare_timeouts")
+                    for sid in sorted(remaining):
+                        # The sites whose holds never arrived are the ones
+                        # the breaker should learn about.
+                        self._breaker_failure(sid)
                     self._fault_abort(
                         txn,
-                        AbortReason.COORDINATOR_ABORT,
-                        detail=f"2PC prepare timed out after {self.prepare_timeout}",
+                        AbortReason.PREPARE_TIMEOUT,
+                        detail=f"2PC prepare timed out after {timeout}",
                     )
 
-            self.courier.call_later(self.prepare_timeout, on_timeout)
+            self.courier.call_later(timeout, on_timeout)
 
     def abort(self, txn: Transaction, reason: AbortReason = AbortReason.USER_REQUESTED) -> None:
         if txn.is_finished:
@@ -593,12 +692,53 @@ class DistributedVCDatabase:
         """
         if txn.is_finished:
             return
-        error = TransactionAborted(txn.txn_id, reason, detail=detail)
+        if reason is AbortReason.DEADLINE_EXCEEDED:
+            error: TransactionAborted = DeadlineExceeded(
+                txn.txn_id,
+                txn.meta.get("qos.deadline", 0.0),
+                self._now(),
+                detail=detail,
+            )
+        else:
+            error = TransactionAborted(txn.txn_id, reason, detail=detail)
         self.abort(txn, reason)
         for slot in ("pending_op", "commit_future"):
             future = txn.meta.get(slot)
             if future is not None and future.pending:
                 future.fail(error)
+
+    # -- circuit breakers (repro.qos) ----------------------------------------------
+
+    def _breaker_reject(self, txn: Transaction, site: Site) -> bool:
+        """Fast-fail a read-write op against an unavailable site.
+
+        True when the op was rejected: the site is known down (crashed) or
+        its breaker is open / refusing probes.  The transaction aborts with
+        ``SITE_UNAVAILABLE`` — typed, retryable, and much cheaper than
+        parking on a site that cannot answer.
+        """
+        if self.breakers is None:
+            return False
+        sid = site.site_id
+        if site.crashed:
+            self.breakers.record_failure(sid)
+        elif self.breakers.allow(sid):
+            return False
+        self.counters.bump("qos.breaker.fastfail")
+        self._fault_abort(
+            txn,
+            AbortReason.SITE_UNAVAILABLE,
+            detail=f"site {sid} unavailable (breaker {self.breakers.for_site(sid).state})",
+        )
+        return True
+
+    def _breaker_success(self, site_id: int) -> None:
+        if self.breakers is not None:
+            self.breakers.record_success(site_id)
+
+    def _breaker_failure(self, site_id: int) -> None:
+        if self.breakers is not None:
+            self.breakers.record_failure(site_id)
 
     # -- crash / recovery -------------------------------------------------------------
 
@@ -616,6 +756,7 @@ class DistributedVCDatabase:
         lost = site.wal.crash()
         site.crashed = True
         site.incarnation += 1
+        self._breaker_failure(site_id)
         if self.courier.tracer.enabled:
             self.courier.tracer.emit(
                 "fault.crash", site=site_id, lost_records=lost,

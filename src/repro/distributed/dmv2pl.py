@@ -52,6 +52,7 @@ from repro.distributed.courier import Courier
 from repro.distributed.gtn import make_gtn, max_counter, site_of
 from repro.errors import (
     AbortReason,
+    DeadlineExceeded,
     ProtocolError,
     TransactionAborted,
     VersionNotFound,
@@ -193,6 +194,7 @@ class DistributedMV2PL:
         self,
         read_only: bool = False,
         read_sites: Iterable[int] | None = None,
+        deadline: float | None = None,
     ) -> Transaction:
         """Start a transaction.
 
@@ -201,6 +203,11 @@ class DistributedMV2PL:
         (per-site start timestamp + CTL copy) is fetched one site at a time
         through the courier; reads issued before all fetches arrive are
         parked.
+
+        ``deadline`` (absolute virtual time, read-write only) aborts the
+        transaction with ``DEADLINE_EXCEEDED`` if it has not *entered
+        commit* by then — commit entry is this protocol's decision point
+        (each site numbers and applies independently afterwards).
         """
         txn = Transaction(TxnClass.READ_ONLY if read_only else TxnClass.READ_WRITE)
         self.counters.note_begin(txn)
@@ -219,7 +226,44 @@ class DistributedMV2PL:
         else:
             txn.meta["participants"] = set()
             self._active[txn.txn_id] = txn
+            if deadline is not None:
+                txn.meta["qos.deadline"] = float(deadline)
+                self._arm_deadline(txn, float(deadline))
         return txn
+
+    def _now(self) -> float:
+        sim = self.courier.sim
+        return sim.now if sim is not None else 0.0
+
+    def _arm_deadline(self, txn: Transaction, deadline: float) -> None:
+        """Virtual-time deadline timer; inert once the commit has begun."""
+
+        def on_deadline() -> None:
+            if txn.is_finished:
+                return
+            if "unacked" in txn.meta:
+                # Commit entry is the decision point: sites may already have
+                # numbered and applied; the promise must be kept.
+                self.counters.bump("qos.deadline.too_late")
+                return
+            self.counters.bump("qos.deadline.aborts")
+            self._fault_abort(txn, AbortReason.DEADLINE_EXCEEDED)
+
+        delay = max(deadline - self._now(), 0.0)
+        if not self.courier.call_later(delay, on_deadline):
+            self.counters.bump("qos.deadline.unarmed")
+
+    def _check_deadline(self, txn: Transaction) -> bool:
+        """Passive deadline check at operation entry; True when expired."""
+        deadline = txn.meta.get("qos.deadline")
+        if deadline is None or self._now() < deadline:
+            return False
+        if "unacked" not in txn.meta:
+            self.counters.bump("qos.deadline.aborts")
+            self._fault_abort(txn, AbortReason.DEADLINE_EXCEEDED)
+            return True
+        self.counters.bump("qos.deadline.too_late")
+        return False
 
     def _fetch_snapshots(self, txn: Transaction, site_ids: list[int]) -> None:
         """Fetch per-site (start_ts, CTL copy), one message per site.
@@ -301,6 +345,8 @@ class DistributedMV2PL:
         self.counters.note_cc_interaction(txn, "r-lock")
         result = OpFuture(label=f"r{txn.txn_id}[{key}]")
         self._track_op(txn, result)
+        if self._check_deadline(txn):
+            return result
         started = False
 
         def deliver() -> None:
@@ -308,7 +354,9 @@ class DistributedMV2PL:
             if started or not txn.is_active or result.done:
                 return
             started = True
-            lock = site.locks.acquire(txn.txn_id, key, LockMode.SHARED)
+            lock = site.locks.acquire(
+                txn.txn_id, key, LockMode.SHARED, deadline=txn.meta.get("qos.deadline")
+            )
 
             def locked(done: OpFuture) -> None:
                 if done.failed:
@@ -341,6 +389,8 @@ class DistributedMV2PL:
         self.counters.note_cc_interaction(txn, "w-lock")
         result = OpFuture(label=f"w{txn.txn_id}[{key}]")
         self._track_op(txn, result)
+        if self._check_deadline(txn):
+            return result
         started = False
 
         def deliver() -> None:
@@ -348,7 +398,9 @@ class DistributedMV2PL:
             if started or not txn.is_active or result.done:
                 return
             started = True
-            lock = site.locks.acquire(txn.txn_id, key, LockMode.EXCLUSIVE)
+            lock = site.locks.acquire(
+                txn.txn_id, key, LockMode.EXCLUSIVE, deadline=txn.meta.get("qos.deadline")
+            )
 
             def locked(done: OpFuture) -> None:
                 if done.failed:
@@ -376,6 +428,9 @@ class DistributedMV2PL:
             self.recorder.record_commit(txn)
             result.resolve(None)
             return result
+        txn.meta["commit_future"] = result
+        if self._check_deadline(txn):
+            return result
         participants = sorted(txn.meta["participants"]) or [next(iter(self.sites))]
         # Two-phase commit WITHOUT number agreement: each site assigns its
         # own local commit number — the root of the global-serializability
@@ -383,7 +438,6 @@ class DistributedMV2PL:
         # version numbers together for history recording only.
         txn.tn = self._next_ident()
         txn.meta["site_numbers"] = {}
-        txn.meta["commit_future"] = result
         acks = set(participants)
         txn.meta["unacked"] = acks
         tracer = self.courier.tracer
@@ -476,7 +530,12 @@ class DistributedMV2PL:
     def _fault_abort(self, txn: Transaction, reason: AbortReason, detail: str = "") -> None:
         if txn.is_finished:
             return
-        error = TransactionAborted(txn.txn_id, reason, detail=detail)
+        if reason is AbortReason.DEADLINE_EXCEEDED:
+            error: TransactionAborted = DeadlineExceeded(
+                txn.txn_id, txn.meta.get("qos.deadline", 0.0), self._now(), detail=detail
+            )
+        else:
+            error = TransactionAborted(txn.txn_id, reason, detail=detail)
         self.abort(txn, reason)
         for slot in ("pending_op", "commit_future"):
             future = txn.meta.get(slot)

@@ -8,7 +8,15 @@ string matching.  The taxonomy mirrors the failure modes the paper discusses:
 * deadlock victims under two-phase locking,
 * optimistic validation failures,
 * garbage-collected versions (paper Section 6),
-* protocol misuse by client code.
+* protocol misuse by client code,
+* quality-of-service outcomes (deadline expiry, admission-control shedding,
+  infrastructure unavailability) from :mod:`repro.qos`.
+
+The QoS layer additionally needs to *classify* failures: a deadlock victim
+should be retried, a corrupt log must never be.  The classification lives
+here, next to the taxonomy, so retry loops and dashboards agree on it
+(:data:`RETRYABLE_REASONS`, :data:`INFRASTRUCTURE_REASONS`,
+:func:`is_retryable`).
 """
 
 from __future__ import annotations
@@ -31,6 +39,41 @@ class AbortReason(enum.Enum):
     WOUNDED = "wounded"
     SITE_FAILURE = "site_failure"
     COORDINATOR_ABORT = "coordinator_abort"
+    #: The 2PC prepare round did not gather its holds in time.  Distinct
+    #: from COORDINATOR_ABORT so dashboards and retry classification can
+    #: tell infrastructure aborts from contention aborts.
+    PREPARE_TIMEOUT = "prepare_timeout"
+    #: A required site was unreachable (crashed, or its circuit breaker is
+    #: open) at the time of the operation.
+    SITE_UNAVAILABLE = "site_unavailable"
+    #: The transaction's deadline passed while it was blocked or in flight.
+    DEADLINE_EXCEEDED = "deadline_exceeded"
+
+
+#: Abort reasons worth retrying: transient contention or transient
+#: infrastructure trouble.  A fresh attempt may well succeed.
+RETRYABLE_REASONS = frozenset(
+    {
+        AbortReason.TIMESTAMP_REJECTED,
+        AbortReason.DEADLOCK_VICTIM,
+        AbortReason.VALIDATION_FAILED,
+        AbortReason.WOUNDED,
+        AbortReason.SITE_FAILURE,
+        AbortReason.COORDINATOR_ABORT,
+        AbortReason.PREPARE_TIMEOUT,
+        AbortReason.SITE_UNAVAILABLE,
+    }
+)
+
+#: Abort reasons caused by infrastructure (sites, network), not by data
+#: contention — the signal circuit breakers and operators care about.
+INFRASTRUCTURE_REASONS = frozenset(
+    {
+        AbortReason.SITE_FAILURE,
+        AbortReason.PREPARE_TIMEOUT,
+        AbortReason.SITE_UNAVAILABLE,
+    }
+)
 
 
 class ReproError(Exception):
@@ -83,6 +126,24 @@ class ValidationError(TransactionAborted):
         super().__init__(txn_id, AbortReason.VALIDATION_FAILED, detail)
 
 
+class DeadlineExceeded(TransactionAborted):
+    """A transaction's deadline passed while an operation was blocked.
+
+    Raised instead of waiting forever: the lock manager fails the blocked
+    request's future with this, the wait lists drop the parked retry
+    closure, and the distributed layer aborts a 2PC that cannot reach its
+    decision point before the deadline.  Deadlines are virtual-time and
+    carried on the transaction descriptor (``txn.meta["qos.deadline"]``).
+    """
+
+    def __init__(self, txn_id: int, deadline: float = 0.0, now: float = 0.0, detail: str = ""):
+        self.deadline = deadline
+        self.now = now
+        if not detail and deadline:
+            detail = f"deadline {deadline} passed at {now}"
+        super().__init__(txn_id, AbortReason.DEADLINE_EXCEEDED, detail)
+
+
 class VersionNotFound(ReproError):
     """No version of an object satisfies the read request.
 
@@ -119,12 +180,39 @@ class CorruptLogError(ReproError):
 
 
 class SiteUnavailable(ReproError):
-    """An operation was addressed to a site that is currently crashed.
+    """An operation was addressed to a site that is currently unreachable.
 
     Raised by the distributed layer when client code operates on a site
-    between :meth:`crash_site` and :meth:`recover_site` (the drill's
-    combined ``crash_restart_site`` never exposes this window).
+    between :meth:`crash_site` and :meth:`recover_site`, or when the site's
+    circuit breaker is open and the operation fails fast instead of joining
+    a doomed wait (see :mod:`repro.qos.breaker`).
     """
+
+    def __init__(self, site_id: int | None = None, detail: str = ""):
+        self.site_id = site_id
+        message = detail or (
+            f"site {site_id} is unavailable" if site_id is not None else "site unavailable"
+        )
+        super().__init__(message)
+
+
+class Overloaded(ReproError):
+    """Admission control shed this request: the system is over capacity.
+
+    A typed, never-silent rejection — the caller learns the policy that
+    shed it and how deep the wait queue was, and can back off and retry
+    (shedding is always retryable, but consumes retry budget so storms
+    cannot amplify the overload).
+    """
+
+    def __init__(self, policy: str = "fifo", queue_depth: int = 0, detail: str = ""):
+        self.policy = policy
+        self.queue_depth = queue_depth
+        message = detail or (
+            f"admission control shed the request (policy={policy}, "
+            f"queue_depth={queue_depth})"
+        )
+        super().__init__(message)
 
 
 class ProtocolError(ReproError):
@@ -151,3 +239,33 @@ class InvariantViolation(ReproError):
     Transaction Visibility properties after every state change when built in
     checked mode; a violation raises this.
     """
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether a fresh attempt of the failed transaction could succeed.
+
+    The single classification point shared by :meth:`Database.run` and any
+    other retry loop:
+
+    * :class:`Overloaded` — yes (back off first; shedding is transient);
+    * :class:`SiteUnavailable` — yes (infrastructure may recover);
+    * :class:`TransactionAborted` — per :data:`RETRYABLE_REASONS`; notably
+      ``USER_REQUESTED`` and ``DEADLINE_EXCEEDED`` are *not* retryable (the
+      user asked, or the budget of time is already spent);
+    * everything else (``CorruptLogError``, ``ProtocolError``, user
+      exceptions) — no: retrying cannot fix a damaged log or a usage bug.
+    """
+    if isinstance(error, (Overloaded, SiteUnavailable)):
+        return True
+    if isinstance(error, TransactionAborted):
+        return error.reason in RETRYABLE_REASONS
+    return False
+
+
+def is_infrastructure(error: BaseException) -> bool:
+    """Whether the failure was caused by infrastructure, not contention."""
+    if isinstance(error, SiteUnavailable):
+        return True
+    if isinstance(error, TransactionAborted):
+        return error.reason in INFRASTRUCTURE_REASONS
+    return False

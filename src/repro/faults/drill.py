@@ -238,6 +238,20 @@ def main(argv: list[str] | None = None) -> int:
         "protocols and check the paper's invariants.",
     )
     parser.add_argument(
+        "--campaign",
+        choices=("faults", "overload"),
+        default="faults",
+        help="faults: network faults + crashes over the distributed "
+        "protocols; overload: QoS overload campaign (admission shedding, "
+        "deadlines, read-only fast-path guarantee) — see repro.qos.overload",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=("fifo", "lifo-shed", "priority"),
+        default="fifo",
+        help="admission shedding policy (overload campaign only)",
+    )
+    parser.add_argument(
         "--protocol",
         choices=(*PROTOCOLS, "both"),
         default="both",
@@ -284,6 +298,9 @@ def main(argv: list[str] | None = None) -> int:
         "--quiet", action="store_true", help="only print the final verdict"
     )
     args = parser.parse_args(argv)
+
+    if args.campaign == "overload":
+        return _overload_main(args)
 
     protocols = PROTOCOLS if args.protocol == "both" else (args.protocol,)
     spec = FaultSpec(
@@ -342,6 +359,45 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"  replay: python -m repro drill --protocol {report.protocol} "
             f"--seeds 1 --seed-base {report.seed}",
+            file=sys.stderr,
+        )
+    return 1 if failed else 0
+
+
+def _overload_main(args: argparse.Namespace) -> int:
+    """``python -m repro drill --campaign overload`` — the QoS drill."""
+    from repro.qos.overload import run_overload_campaign
+
+    print(
+        f"overload campaign: seeds={args.seeds} policy={args.policy} "
+        f"duration={args.duration}"
+    )
+    failed = []
+    for offset in range(args.seeds):
+        seed = args.seed_base + offset
+        report = run_overload_campaign(
+            seed, duration=args.duration, policy=args.policy
+        )
+        if not report.ok:
+            failed.append(report)
+        if not args.quiet:
+            verdict = "ok" if report.ok else "FAIL"
+            print(
+                f"  seed={seed:<4d} {verdict:4s} "
+                f"shed={report.shed_rate:<7.2%} "
+                f"miss={report.deadline_miss_rate:<7.2%} "
+                f"ro_p99x={report.ro_p99_ratio:<5.2f} "
+                f"rw_commits={report.overload.rw_commits:<5d} "
+                f"ro_commits={report.overload.ro_commits}"
+            )
+    print(f"{args.seeds} campaigns, {len(failed)} failed")
+    for report in failed:
+        print(f"FAILED seed={report.seed}:", file=sys.stderr)
+        for violation in report.violations:
+            print(f"  violation: {violation}", file=sys.stderr)
+        print(
+            f"  replay: python -m repro drill --campaign overload "
+            f"--seeds 1 --seed-base {report.seed} --policy {args.policy}",
             file=sys.stderr,
         )
     return 1 if failed else 0

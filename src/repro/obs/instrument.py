@@ -119,6 +119,10 @@ def attach_tracer(scheduler: Any, tracer: Tracer) -> Instrumentation:
         for site in sites.values():
             handle._set_tracer(getattr(site, "locks", None))
             handle._set_tracer(getattr(site, "wal", None))
+    # QoS components (repro.qos): admission controller and circuit-breaker
+    # board, when installed, emit qos.admit/qos.shed/qos.breaker events.
+    handle._set_tracer(getattr(scheduler, "admission", None))
+    handle._set_tracer(getattr(scheduler, "breakers", None))
     return handle
 
 

@@ -22,7 +22,7 @@ from repro.core.futures import OpFuture, resolved
 from repro.core.transaction import SN_INFINITY, Transaction
 from repro.core.vc_scheduler import VersionControlledScheduler
 from repro.core.version_control import VersionControl
-from repro.errors import AbortReason, DeadlockError, ProtocolError
+from repro.errors import AbortReason, ProtocolError, TransactionAborted
 from repro.storage.mvstore import MVStore
 
 ROOT: tuple = ("db",)
@@ -164,9 +164,11 @@ class VCGranular2PLScheduler(VersionControlledScheduler):
     # -- plumbing ------------------------------------------------------------------
 
     def _deadlock_abort(self, txn: Transaction, error: BaseException | None, result: OpFuture) -> None:
-        assert isinstance(error, DeadlockError)
+        # Deadlock victim or, with QoS deadlines, an expired wait:
+        # the abort reason travels on the error itself.
+        assert isinstance(error, TransactionAborted)
         if txn.is_active:
-            self._rw_abort(txn, AbortReason.DEADLOCK_VICTIM)
+            self._rw_abort(txn, error.reason)
         result.fail(error)
 
     def _note_block(self, txn_id: int, path: tuple) -> None:

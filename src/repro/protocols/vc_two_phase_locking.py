@@ -33,7 +33,7 @@ from repro.core.futures import OpFuture, resolved
 from repro.core.transaction import SN_INFINITY, Transaction
 from repro.core.vc_scheduler import VersionControlledScheduler
 from repro.core.version_control import VersionControl
-from repro.errors import AbortReason, DeadlockError
+from repro.errors import AbortReason, TransactionAborted
 from repro.storage.mvstore import MVStore
 
 
@@ -67,7 +67,9 @@ class VC2PLScheduler(VersionControlledScheduler):
     def _rw_read(self, txn: Transaction, key: Hashable) -> OpFuture:
         self.counters.note_cc_interaction(txn, "r-lock")
         result = OpFuture(label=f"r{txn.txn_id}[{key}]")
-        lock = self.locks.acquire(txn.txn_id, key, LockMode.SHARED)
+        lock = self.locks.acquire(
+            txn.txn_id, key, LockMode.SHARED, deadline=txn.meta.get("qos.deadline")
+        )
 
         def _locked(done: OpFuture) -> None:
             if done.failed:
@@ -90,7 +92,9 @@ class VC2PLScheduler(VersionControlledScheduler):
     def _rw_write(self, txn: Transaction, key: Hashable, value: Any) -> OpFuture:
         self.counters.note_cc_interaction(txn, "w-lock")
         result = OpFuture(label=f"w{txn.txn_id}[{key}]")
-        lock = self.locks.acquire(txn.txn_id, key, LockMode.EXCLUSIVE)
+        lock = self.locks.acquire(
+            txn.txn_id, key, LockMode.EXCLUSIVE, deadline=txn.meta.get("qos.deadline")
+        )
 
         def _locked(done: OpFuture) -> None:
             if done.failed:
@@ -137,10 +141,16 @@ class VC2PLScheduler(VersionControlledScheduler):
     # -- deadlock plumbing ---------------------------------------------------------
 
     def _deadlock_abort(self, txn: Transaction, error: BaseException | None, result: OpFuture) -> None:
-        """A lock request failed (deadlock victim): abort and propagate."""
-        assert isinstance(error, DeadlockError)
+        """A lock request failed: abort the requester and propagate.
+
+        Historically only deadlock victims landed here; with QoS deadlines
+        a queued request may also fail with
+        :class:`~repro.errors.DeadlineExceeded`, so the abort reason comes
+        from the error itself.
+        """
+        assert isinstance(error, TransactionAborted)
         if txn.is_active:
-            self._rw_abort(txn, AbortReason.DEADLOCK_VICTIM)
+            self._rw_abort(txn, error.reason)
         result.fail(error)
 
     def _note_block(self, txn_id: int, key: Hashable) -> None:

@@ -1,0 +1,63 @@
+"""repro.qos — overload protection and graceful degradation.
+
+The paper guarantees that read-only transactions, snapshotted at ``vtnc``
+by ``VCstart()``, never block, never get blocked, and never abort.  This
+package extends that asymmetry into an operational quality-of-service
+story: under overload or partition, *read-write* work is shed, deadlined,
+or fast-failed in controlled, typed, observable ways, while the read-only
+fast path keeps serving snapshots with a reported staleness bound.
+
+Pieces (each usable standalone; see ``docs/robustness.md``):
+
+* :class:`AdmissionController` — token-based admission with bounded wait
+  queues and fifo / lifo-shed / priority shedding;
+* :class:`CircuitBreaker` / :class:`BreakerBoard` — per-site breakers for
+  the distributed courier path;
+* :class:`BackoffPolicy` / :class:`RetryBudget` — classified retries with
+  deterministic seeded jitter and storm-proof budgets;
+* deadline helpers (:func:`set_deadline`, :func:`check_deadline`, …) over
+  ``txn.meta["qos.deadline"]``, enforced by the lock manager, wait lists,
+  and the 2PC legs;
+* :func:`run_overload_campaign` — the seeded overload drill behind
+  ``python -m repro drill --campaign overload``.
+
+All decisions emit ``qos.*`` trace events through :mod:`repro.obs`.
+"""
+
+from repro.qos.admission import POLICIES, AdmissionController
+from repro.qos.breaker import BreakerBoard, CircuitBreaker
+from repro.qos.deadline import (
+    DEADLINE_KEY,
+    STALENESS_KEY,
+    check_deadline,
+    get_deadline,
+    remaining,
+    set_deadline,
+)
+from repro.qos.retry import BackoffPolicy, RetryBudget
+
+__all__ = [
+    "AdmissionController",
+    "BackoffPolicy",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "DEADLINE_KEY",
+    "POLICIES",
+    "RetryBudget",
+    "STALENESS_KEY",
+    "check_deadline",
+    "get_deadline",
+    "remaining",
+    "run_overload_campaign",
+    "set_deadline",
+]
+
+
+def __getattr__(name):
+    # Lazy: overload.py imports bench/drill machinery; keep plain
+    # `import repro.qos` light for the scheduler hot path.
+    if name == "run_overload_campaign":
+        from repro.qos.overload import run_overload_campaign
+
+        return run_overload_campaign
+    raise AttributeError(name)

@@ -3,8 +3,15 @@
 import pytest
 
 from repro.core.session import Database
-from repro.errors import TransactionAborted, ValidationError
+from repro.errors import (
+    AbortReason,
+    DeadlineExceeded,
+    Overloaded,
+    TransactionAborted,
+    ValidationError,
+)
 from repro.protocols import VCOCCScheduler, VCTOScheduler
+from repro.qos import AdmissionController, RetryBudget
 
 
 class TestTransactionContext:
@@ -138,3 +145,118 @@ class TestRunWithRetries:
             txn["x"] = 1
         report = db.check_serializable()
         assert report.serializable
+
+
+class TestRetryClassification:
+    """Regression: ``run`` used to retry errors no retry can fix."""
+
+    def _failing_body(self, error_factory):
+        calls = []
+
+        def body(txn):
+            calls.append(1)
+            raise error_factory(txn.txn.txn_id)
+
+        return body, calls
+
+    def test_user_requested_abort_not_retried(self):
+        db = Database("vc-2pl")
+        body, calls = self._failing_body(
+            lambda txn_id: TransactionAborted(txn_id, AbortReason.USER_REQUESTED)
+        )
+        with pytest.raises(TransactionAborted):
+            db.run(body, retries=5)
+        assert len(calls) == 1, "USER_REQUESTED is terminal"
+
+    def test_deadline_exceeded_not_retried(self):
+        db = Database("vc-2pl")
+        body, calls = self._failing_body(
+            lambda txn_id: DeadlineExceeded(txn_id, 10.0, 11.0)
+        )
+        with pytest.raises(DeadlineExceeded):
+            db.run(body, retries=5)
+        assert len(calls) == 1, "the time budget is already spent"
+
+    def test_retryable_abort_retries_with_backoff(self):
+        db = Database("vc-2pl")
+        calls = []
+
+        def flaky(txn):
+            calls.append(1)
+            if len(calls) == 1:
+                raise TransactionAborted(
+                    txn.txn.txn_id, AbortReason.DEADLOCK_VICTIM
+                )
+            return "done"
+
+        assert db.run(flaky, retries=5) == "done"
+        assert len(calls) == 2
+        assert len(db.last_retry_schedule) == 1
+        assert db.last_retry_schedule[0] > 0
+
+    def test_retry_budget_exhaustion_turns_terminal(self):
+        db = Database("vc-2pl", retry_budget=RetryBudget(capacity=2.0))
+        body, calls = self._failing_body(
+            lambda txn_id: TransactionAborted(txn_id, AbortReason.DEADLOCK_VICTIM)
+        )
+        with pytest.raises(TransactionAborted):
+            db.run(body, retries=50)
+        assert len(calls) == 3, "initial attempt + the two budgeted retries"
+        assert db.retry_budget.exhausted == 1
+
+    def test_retry_schedule_deterministic_under_seed(self):
+        def flaky_maker():
+            calls = []
+
+            def flaky(txn):
+                calls.append(1)
+                if len(calls) < 4:
+                    raise TransactionAborted(
+                        txn.txn.txn_id, AbortReason.DEADLOCK_VICTIM
+                    )
+                return True
+
+            return flaky
+
+        schedules = []
+        for _ in range(2):
+            db = Database("vc-2pl", retry_seed=99)
+            db.run(flaky_maker(), retries=5)
+            schedules.append(db.last_retry_schedule)
+        assert schedules[0] == schedules[1]
+        assert len(schedules[0]) == 3
+        other = Database("vc-2pl", retry_seed=100)
+        other.run(flaky_maker(), retries=5)
+        assert other.last_retry_schedule != schedules[0]
+
+
+class TestAdmissionAtTheSession:
+    def test_shed_begin_is_retried_then_raises(self):
+        gate = AdmissionController(capacity=1)
+        db = Database("vc-2pl", admission=gate)
+        hog = db.scheduler.begin()  # holds the only token
+        slept = []
+        db._sleep = slept.append
+        with pytest.raises(Overloaded):
+            db.run(lambda txn: txn, retries=2)
+        assert gate.shed == 3, "initial attempt + 2 retries, all shed"
+        assert len(slept) == 2, "backoff between shed attempts"
+        db.scheduler.abort(hog)
+        assert db.run(lambda txn: 7) == 7, "token freed: admitted again"
+
+    def test_snapshots_bypass_admission(self):
+        gate = AdmissionController(capacity=1)
+        db = Database("vc-2pl", admission=gate)
+        db.scheduler.begin()  # exhaust capacity
+        with db.snapshot() as snap:
+            assert snap["x"] is None
+        assert gate.shed == 0
+
+    def test_snapshot_reports_staleness(self):
+        db = Database("vc-2pl")
+        with db.transaction() as txn:
+            txn["x"] = 1
+        with db.snapshot() as snap:
+            assert snap.staleness == 0, "idle database: perfectly fresh"
+        with db.transaction() as txn:
+            assert txn.staleness is None, "read-write: no snapshot bound"

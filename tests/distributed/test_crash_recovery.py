@@ -175,7 +175,7 @@ class TestDVCCrashRecovery:
                 yield db.commit(t)
                 raise AssertionError("commit should have timed out")
             except TransactionAborted as exc:
-                assert exc.reason is AbortReason.COORDINATOR_ABORT
+                assert exc.reason is AbortReason.PREPARE_TIMEOUT
 
         sim.spawn(client())
         sim.run()

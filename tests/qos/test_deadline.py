@@ -1,0 +1,109 @@
+"""Deadline enforcement: meta helpers, lock-manager sweeps, cancellation."""
+
+import pytest
+
+from repro.cc.lock_manager import LockManager
+from repro.cc.locks import LockMode
+from repro.core.transaction import Transaction
+from repro.errors import DeadlineExceeded, SiteUnavailable
+from repro.qos.deadline import (
+    DEADLINE_KEY,
+    check_deadline,
+    get_deadline,
+    remaining,
+    set_deadline,
+)
+
+
+class TestDeadlineHelpers:
+    def test_set_get_clear(self):
+        txn = Transaction()
+        assert get_deadline(txn) is None
+        set_deadline(txn, 12)
+        assert get_deadline(txn) == 12.0
+        assert txn.meta[DEADLINE_KEY] == 12.0
+        set_deadline(txn, None)
+        assert get_deadline(txn) is None
+
+    def test_remaining(self):
+        txn = Transaction()
+        assert remaining(txn, 5.0) is None
+        set_deadline(txn, 12.0)
+        assert remaining(txn, 5.0) == 7.0
+
+    def test_check_raises_only_when_due(self):
+        txn = Transaction()
+        check_deadline(txn, 1e9)  # no deadline: never raises
+        set_deadline(txn, 10.0)
+        check_deadline(txn, 9.99)
+        with pytest.raises(DeadlineExceeded) as exc_info:
+            check_deadline(txn, 10.0)
+        assert exc_info.value.txn_id == txn.txn_id
+        assert exc_info.value.deadline == 10.0
+
+
+class TestLockManagerExpiry:
+    def test_expire_due_fails_overdue_waiter_only(self):
+        lm = LockManager()
+        lm.acquire(1, "x", LockMode.EXCLUSIVE)
+        blocked = lm.acquire(2, "x", LockMode.EXCLUSIVE, deadline=10.0)
+        patient = lm.acquire(3, "x", LockMode.EXCLUSIVE)  # no deadline
+        assert lm.expire_due(9.9) == []
+        assert blocked.pending
+        assert lm.expire_due(10.0) == [2]
+        assert blocked.failed
+        assert isinstance(blocked.error, DeadlineExceeded)
+        assert lm.waiting("x") == [3]
+        assert patient.pending
+
+    def test_expired_waiter_leaves_no_graph_edges(self):
+        lm = LockManager()
+        lm.acquire(1, "x", LockMode.EXCLUSIVE)
+        lm.acquire(2, "x", LockMode.EXCLUSIVE, deadline=5.0)
+        lm.expire_due(5.0)
+        # T2 gone: T1 can now wait on something T2 holds without a cycle.
+        lm.acquire(2, "y", LockMode.EXCLUSIVE)
+        waited = lm.acquire(1, "y", LockMode.EXCLUSIVE)
+        assert waited.pending, "no phantom deadlock from stale edges"
+
+    def test_expiry_unblocks_compatible_waiters_behind(self):
+        lm = LockManager()
+        lm.acquire(1, "x", LockMode.SHARED)
+        stuck = lm.acquire(2, "x", LockMode.EXCLUSIVE, deadline=3.0)
+        reader = lm.acquire(3, "x", LockMode.SHARED)  # queued behind the X
+        assert reader.pending, "no overtaking past a queued X"
+        lm.expire_due(3.0)
+        assert stuck.failed
+        assert reader.done, "removing the X request re-scans the queue"
+
+    def test_expiry_survives_cascading_callbacks(self):
+        """Failing one overdue future may release locks and grant (or
+        remove) other overdue requests before the sweep reaches them."""
+        lm = LockManager()
+        lm.acquire(1, "a", LockMode.EXCLUSIVE)
+        lm.acquire(1, "b", LockMode.EXCLUSIVE)
+        first = lm.acquire(2, "a", LockMode.EXCLUSIVE, deadline=5.0)
+        second = lm.acquire(3, "b", LockMode.EXCLUSIVE, deadline=5.0)
+        # When T2's wait fails, its owner gives up and releases T1 too
+        # (modelling an abort cascade) — T3's request gets *granted* while
+        # still in the sweep's sights.
+        first.add_callback(lambda f: lm.release_all(1) if f.failed else None)
+        expired = lm.expire_due(5.0)
+        assert expired == [2]
+        assert second.done, "granted during the cascade, not expired"
+
+    def test_granted_locks_never_expire(self):
+        lm = LockManager()
+        held = lm.acquire(1, "x", LockMode.EXCLUSIVE, deadline=1.0)
+        assert held.done
+        assert lm.expire_due(100.0) == []
+        assert lm.holds(1, "x", LockMode.EXCLUSIVE)
+
+    def test_cancel_request_uses_given_error(self):
+        lm = LockManager()
+        lm.acquire(1, "x", LockMode.EXCLUSIVE)
+        blocked = lm.acquire(2, "x", LockMode.EXCLUSIVE)
+        assert lm.cancel_request(2, SiteUnavailable(site_id=7))
+        assert isinstance(blocked.error, SiteUnavailable)
+        assert lm.waiting("x") == []
+        assert not lm.cancel_request(2, SiteUnavailable()), "nothing pending"

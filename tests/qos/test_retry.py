@@ -1,0 +1,59 @@
+"""Backoff policy and retry budget."""
+
+import pytest
+
+from repro.qos.retry import BackoffPolicy, RetryBudget
+from repro.sim.random_streams import RandomStreams
+
+
+class TestBackoffPolicy:
+    def test_exponential_without_jitter(self):
+        policy = BackoffPolicy(base=1.0, factor=2.0, cap=8.0, jitter=0.0)
+        rng = RandomStreams(0).stream("unused")
+        assert policy.schedule(5, rng) == [1.0, 2.0, 4.0, 8.0, 8.0]
+
+    def test_jitter_stays_in_band(self):
+        policy = BackoffPolicy(base=1.0, factor=2.0, cap=64.0, jitter=0.5)
+        rng = RandomStreams(3).stream("retry")
+        for attempt in range(6):
+            raw = min(64.0, 2.0**attempt)
+            delay = policy.delay(attempt, rng)
+            assert 0.5 * raw <= delay <= 1.5 * raw
+
+    def test_same_seed_same_schedule(self):
+        policy = BackoffPolicy()
+        first = policy.schedule(8, RandomStreams(42).stream("session.retry"))
+        second = policy.schedule(8, RandomStreams(42).stream("session.retry"))
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        policy = BackoffPolicy()
+        first = policy.schedule(8, RandomStreams(1).stream("session.retry"))
+        second = policy.schedule(8, RandomStreams(2).stream("session.retry"))
+        assert first != second
+
+
+class TestRetryBudget:
+    def test_spends_down_to_exhaustion(self):
+        budget = RetryBudget(capacity=2.0)
+        assert budget.try_spend()
+        assert budget.try_spend()
+        assert not budget.try_spend()
+        assert budget.exhausted == 1
+
+    def test_success_refills_capped(self):
+        budget = RetryBudget(capacity=2.0, refill_per_success=0.5)
+        budget.try_spend()
+        budget.try_spend()
+        budget.record_success()
+        assert budget.tokens == 0.5
+        assert not budget.try_spend(), "half a token is not a retry"
+        budget.record_success()
+        assert budget.try_spend()
+        for _ in range(10):
+            budget.record_success()
+        assert budget.tokens == 2.0, "refills never exceed capacity"
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            RetryBudget(capacity=-1.0)

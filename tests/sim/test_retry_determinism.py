@@ -1,0 +1,46 @@
+"""Deterministic retry jitter: same master seed, same retry schedule.
+
+The QoS backoff draws its jitter from a named
+:class:`~repro.sim.random_streams.RandomStreams` stream — the same
+mechanism every other randomized component uses — so a whole run's retry
+timing replays bit-for-bit from the master seed, and independent
+components (couriers, clients, retry loops) never perturb each other's
+draws.
+"""
+
+from repro.qos.retry import BackoffPolicy
+from repro.sim.random_streams import RandomStreams
+
+
+class TestRetryScheduleDeterminism:
+    def test_same_master_seed_identical_schedules(self):
+        policy = BackoffPolicy(base=0.5, factor=2.0, cap=30.0, jitter=0.5)
+        runs = []
+        for _ in range(3):
+            streams = RandomStreams(1234)
+            runs.append(policy.schedule(10, streams.stream("session.retry")))
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_streams_are_independent(self):
+        """Draining an unrelated stream must not shift the retry jitter."""
+        policy = BackoffPolicy()
+        quiet = RandomStreams(7)
+        noisy = RandomStreams(7)
+        for _ in range(1000):
+            noisy.stream("courier.latency").random()
+        assert policy.schedule(6, quiet.stream("session.retry")) == policy.schedule(
+            6, noisy.stream("session.retry")
+        )
+
+    def test_different_stream_names_differ(self):
+        policy = BackoffPolicy()
+        streams = RandomStreams(7)
+        a = policy.schedule(6, streams.stream("client-1.retry"))
+        b = policy.schedule(6, streams.stream("client-2.retry"))
+        assert a != b
+
+    def test_schedule_is_monotone_in_expectation(self):
+        """Un-jittered delays grow exponentially to the cap."""
+        policy = BackoffPolicy(base=1.0, factor=2.0, cap=16.0, jitter=0.0)
+        rng = RandomStreams(0).stream("x")
+        assert policy.schedule(6, rng) == [1.0, 2.0, 4.0, 8.0, 16.0, 16.0]
