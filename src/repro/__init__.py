@@ -39,6 +39,7 @@ from repro.errors import (
     DeadlockError,
     Overloaded,
     ProtocolError,
+    ReplicaLagging,
     ReproError,
     SiteUnavailable,
     TransactionAborted,
@@ -86,6 +87,13 @@ from repro.qos import (
     CircuitBreaker,
     RetryBudget,
 )
+from repro.replica import (
+    Replica,
+    ReplicaCluster,
+    ReplicatedDatabase,
+    run_replica_scaling,
+    run_replication_campaign,
+)
 from repro.storage import GarbageCollector, MVStore, SVStore
 
 __version__ = "1.0.0"
@@ -122,6 +130,10 @@ __all__ = [
     "RingBufferExporter",
     "Tracer",
     "ProtocolError",
+    "Replica",
+    "ReplicaCluster",
+    "ReplicaLagging",
+    "ReplicatedDatabase",
     "ReproError",
     "SN_INFINITY",
     "SVStore",
@@ -147,4 +159,6 @@ __all__ = [
     "is_retryable",
     "run_campaign",
     "run_drill",
+    "run_replica_scaling",
+    "run_replication_campaign",
 ]

@@ -17,11 +17,16 @@ Commands:
   crash-restarts, with the paper's invariants checked throughout (see
   ``docs/faults.md``); ``drill --campaign overload`` instead runs the QoS
   overload campaign — admission shedding, deadlines, and the read-only
-  fast-path guarantee (see ``docs/robustness.md``);
+  fast-path guarantee (see ``docs/robustness.md``); ``drill --campaign
+  replication`` runs the replication drill — WAL-shipped replicas under
+  lossy/partitioned shipping with a mid-run primary fail-over, checking
+  snapshot consistency, monotone watermarks, and convergence (see
+  ``docs/replication.md``);
 * ``bench [--quick ...]`` — seeded benchmark suites emitting versioned
   ``BENCH_<rev>.json`` artifacts (throughput, latency percentiles, abort
-  rates, critical-path phase shares, plus a ``qos`` overload block) with a
-  regression comparator for CI (see ``docs/benchmarks.md``).
+  rates, critical-path phase shares, plus ``qos`` overload and ``replica``
+  scaling blocks) with a regression comparator for CI (see
+  ``docs/benchmarks.md``).
 """
 
 from __future__ import annotations

@@ -218,6 +218,21 @@ def bench_qos(seed: int) -> dict[str, Any]:
     }
 
 
+def bench_replica(seed: int) -> dict[str, Any]:
+    """One replica scaling run → the artifact's ``replica`` block.
+
+    Demonstrates the replication tier's headline economics: read-only
+    throughput scales with replica count while read-write throughput —
+    still funneled through the one primary — stays flat.  Top-level like
+    ``qos`` so the protocol comparator ignores it and older baselines stay
+    comparable.
+    """
+    from repro.replica.bench import run_replica_scaling
+
+    block = run_replica_scaling(seed, duration=150.0)
+    return block
+
+
 def run_suite(
     suite: Suite, seed: int = 0, protocols: tuple[str, ...] | None = None
 ) -> dict[str, Any]:
@@ -236,6 +251,7 @@ def run_suite(
     for protocol in selected:
         artifact["protocols"][protocol] = bench_protocol(protocol, suite, seed)
     artifact["qos"] = bench_qos(seed)
+    artifact["replica"] = bench_replica(seed)
     return artifact
 
 
@@ -346,6 +362,15 @@ def render_artifact(artifact: dict[str, Any]) -> str:
             f"ro_p99 {qos.get('ro_p99_baseline', 0.0):.3f} -> "
             f"{qos.get('ro_p99_under_overload', 0.0):.3f} under overload "
             f"({qos.get('ro_p99_ratio', 0.0):.2f}x)"
+        )
+    replica = artifact.get("replica")
+    if replica:
+        verdict = "ok" if replica.get("ok") else "FAIL"
+        counts = sorted(replica.get("scaling", {}), key=int)
+        span = f"{counts[0]}->{counts[-1]}" if counts else "?"
+        lines.append(
+            f"replica [{verdict}]: ro_speedup={replica.get('ro_speedup', 0.0):.2f}x "
+            f"({span} replicas) rw_ratio={replica.get('rw_ratio', 0.0):.2f}x"
         )
     return "\n".join(lines)
 

@@ -215,6 +215,30 @@ class Overloaded(ReproError):
         super().__init__(message)
 
 
+class ReplicaLagging(ReproError):
+    """A replica's watermark trails the primary beyond the staleness bound.
+
+    Raised only under the ``"reject"`` staleness policy of
+    :class:`~repro.replica.ReplicatedDatabase`: the caller asked for a
+    snapshot no staler than ``bound`` transactions and every routing choice
+    would violate it.  Retryable — replication lag is transient by nature
+    (the backlog drains as soon as shipping heals) — and classified as
+    infrastructure, like the network faults that usually cause it.  The
+    default policies degrade instead of raising: ``"redirect"`` serves the
+    snapshot from the primary, ``"stale"`` serves it anyway and marks it.
+    """
+
+    def __init__(self, replica_id: int, lag: int, bound: int, detail: str = ""):
+        self.replica_id = replica_id
+        self.lag = lag
+        self.bound = bound
+        message = detail or (
+            f"replica {replica_id} lags {lag} transactions behind the "
+            f"primary (bound {bound})"
+        )
+        super().__init__(message)
+
+
 class ProtocolError(ReproError):
     """Client code violated the scheduler's usage contract.
 
@@ -249,13 +273,14 @@ def is_retryable(error: BaseException) -> bool:
 
     * :class:`Overloaded` — yes (back off first; shedding is transient);
     * :class:`SiteUnavailable` — yes (infrastructure may recover);
+    * :class:`ReplicaLagging` — yes (lag drains once shipping heals);
     * :class:`TransactionAborted` — per :data:`RETRYABLE_REASONS`; notably
       ``USER_REQUESTED`` and ``DEADLINE_EXCEEDED`` are *not* retryable (the
       user asked, or the budget of time is already spent);
     * everything else (``CorruptLogError``, ``ProtocolError``, user
       exceptions) — no: retrying cannot fix a damaged log or a usage bug.
     """
-    if isinstance(error, (Overloaded, SiteUnavailable)):
+    if isinstance(error, (Overloaded, SiteUnavailable, ReplicaLagging)):
         return True
     if isinstance(error, TransactionAborted):
         return error.reason in RETRYABLE_REASONS
@@ -264,7 +289,7 @@ def is_retryable(error: BaseException) -> bool:
 
 def is_infrastructure(error: BaseException) -> bool:
     """Whether the failure was caused by infrastructure, not contention."""
-    if isinstance(error, SiteUnavailable):
+    if isinstance(error, (SiteUnavailable, ReplicaLagging)):
         return True
     if isinstance(error, TransactionAborted):
         return error.reason in INFRASTRUCTURE_REASONS

@@ -239,11 +239,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--campaign",
-        choices=("faults", "overload"),
+        choices=("faults", "overload", "replication"),
         default="faults",
         help="faults: network faults + crashes over the distributed "
         "protocols; overload: QoS overload campaign (admission shedding, "
-        "deadlines, read-only fast-path guarantee) — see repro.qos.overload",
+        "deadlines, read-only fast-path guarantee) — see repro.qos.overload; "
+        "replication: WAL-shipped replica tier under lossy/partitioned "
+        "shipping with a primary fail-over — see repro.replica.campaign",
     )
     parser.add_argument(
         "--policy",
@@ -267,6 +269,17 @@ def main(argv: list[str] | None = None) -> int:
         "--duration", type=float, default=300.0, help="virtual time per drill"
     )
     parser.add_argument("--sites", type=int, default=3, help="sites per database")
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=3,
+        help="replica count (replication campaign only)",
+    )
+    parser.add_argument(
+        "--no-promote",
+        action="store_true",
+        help="skip the mid-run primary fail-over (replication campaign only)",
+    )
     parser.add_argument(
         "--drop", type=float, default=DEFAULT_SPEC.drop, help="drop probability"
     )
@@ -301,6 +314,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.campaign == "overload":
         return _overload_main(args)
+    if args.campaign == "replication":
+        return _replication_main(args)
 
     protocols = PROTOCOLS if args.protocol == "both" else (args.protocol,)
     spec = FaultSpec(
@@ -398,6 +413,64 @@ def _overload_main(args: argparse.Namespace) -> int:
         print(
             f"  replay: python -m repro drill --campaign overload "
             f"--seeds 1 --seed-base {report.seed} --policy {args.policy}",
+            file=sys.stderr,
+        )
+    return 1 if failed else 0
+
+
+def _replication_main(args: argparse.Namespace) -> int:
+    """``python -m repro drill --campaign replication`` — the replica drill."""
+    from repro.replica.campaign import REPLICATION_SPEC, run_replication_campaign
+
+    spec = FaultSpec(
+        drop=args.drop if args.drop != DEFAULT_SPEC.drop else REPLICATION_SPEC.drop,
+        duplicate=args.duplicate
+        if args.duplicate != DEFAULT_SPEC.duplicate
+        else REPLICATION_SPEC.duplicate,
+        delay_spike=args.delay_spike
+        if args.delay_spike != DEFAULT_SPEC.delay_spike
+        else REPLICATION_SPEC.delay_spike,
+    )
+    promote = not args.no_promote
+    print(
+        f"replication campaign: seeds={args.seeds} replicas={args.replicas} "
+        f"duration={args.duration} spec=(drop={spec.drop}, dup={spec.duplicate}, "
+        f"spike={spec.delay_spike}) promote={promote}"
+    )
+    failed = []
+    for offset in range(args.seeds):
+        seed = args.seed_base + offset
+        report = run_replication_campaign(
+            seed,
+            duration=args.duration,
+            n_replicas=args.replicas,
+            spec=spec,
+            promote=promote,
+        )
+        if not report.ok:
+            failed.append(report)
+        if not args.quiet:
+            verdict = "ok" if report.ok else "FAIL"
+            phase = report.phase
+            print(
+                f"  seed={seed:<4d} {verdict:4s} "
+                f"rw={phase.rw_commits:<4d} ro={phase.ro_commits:<5d} "
+                f"lag_max={phase.max_lag_txns:<3d} "
+                f"redirects={phase.ro_redirects:<4d} "
+                f"promoted=r{phase.promoted_replica or '-'} "
+                f"drops={report.faults.get('drops', 0):<3d} "
+                f"parked={report.faults.get('partition_deferrals', 0)}"
+            )
+    print(f"{args.seeds} campaigns, {len(failed)} failed")
+    for report in failed:
+        print(f"FAILED seed={report.seed}:", file=sys.stderr)
+        for violation in report.violations:
+            print(f"  violation: {violation}", file=sys.stderr)
+        for name in report.phase.wedged:
+            print(f"  wedged process: {name}", file=sys.stderr)
+        print(
+            f"  replay: python -m repro drill --campaign replication "
+            f"--seeds 1 --seed-base {report.seed} --replicas {args.replicas}",
             file=sys.stderr,
         )
     return 1 if failed else 0

@@ -123,6 +123,28 @@ def attach_tracer(scheduler: Any, tracer: Tracer) -> Instrumentation:
     # board, when installed, emit qos.admit/qos.shed/qos.breaker events.
     handle._set_tracer(getattr(scheduler, "admission", None))
     handle._set_tracer(getattr(scheduler, "breakers", None))
+    # Replica clusters (repro.replica): passing a ReplicaCluster — or a
+    # ReplicatedDatabase carrying one — instruments the primary scheduler,
+    # the log shipper (replica.ship / replica.ack), and every replica node
+    # (replica.watermark / replica.ro_snapshot) plus its counters.  A
+    # fail-over builds a fresh primary and shipper, so re-attach after
+    # promotion if those need tracing too.
+    cluster = getattr(scheduler, "cluster", None)
+    if cluster is None and hasattr(scheduler, "shipper"):
+        cluster = scheduler
+    if cluster is not None:
+        if cluster is not scheduler:
+            handle._set_tracer(cluster)
+            handle._set_tracer(getattr(cluster, "counters", None))
+        primary = getattr(cluster, "primary", None)
+        if primary is not None and primary is not scheduler:
+            _attach_one(primary, handle)
+        handle._set_tracer(getattr(cluster, "shipper", None))
+        replicas = getattr(cluster, "replicas", None)
+        if isinstance(replicas, dict):
+            for replica in replicas.values():
+                handle._set_tracer(replica)
+                handle._set_tracer(getattr(replica, "counters", None))
     return handle
 
 

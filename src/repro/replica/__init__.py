@@ -1,0 +1,34 @@
+"""repro.replica — WAL-shipped read replicas with watermark propagation.
+
+The paper's read-only fast path needs only a snapshot number and committed
+versions up to it — state that can live anywhere the log has reached.  This
+package ships the primary's write-ahead log over the courier to N replicas,
+each maintaining a local visible watermark ``vtnc_replica <=
+vtnc_primary``, and routes read-only sessions to them (``docs/
+replication.md``).
+"""
+
+from repro.replica.bench import run_replica_scaling
+from repro.replica.campaign import (
+    REPLICATION_SPEC,
+    ReplicationPhase,
+    ReplicationReport,
+    run_replication_campaign,
+)
+from repro.replica.cluster import ReplicaCluster
+from repro.replica.node import Replica
+from repro.replica.session import ReplicatedDatabase
+from repro.replica.ship import LogShipper, ShippedLog
+
+__all__ = [
+    "LogShipper",
+    "REPLICATION_SPEC",
+    "Replica",
+    "ReplicaCluster",
+    "ReplicatedDatabase",
+    "ReplicationPhase",
+    "ReplicationReport",
+    "ShippedLog",
+    "run_replica_scaling",
+    "run_replication_campaign",
+]

@@ -1,0 +1,197 @@
+"""Replica scaling benchmark: read throughput grows, write throughput doesn't.
+
+The claim a replica tier must demonstrate: read-only service capacity
+scales with the number of replicas, while the read-write path — which still
+funnels through the one primary — is unaffected.  Each replica is modeled
+as a single-server FIFO queue on the virtual clock (one snapshot read costs
+``service_time``), because that is the resource replication multiplies; a
+fixed reader fleet large enough to saturate one replica is load-balanced
+round-robin across however many exist, and a fixed writer population runs
+against the primary throughout.
+
+Everything runs from one master seed on the simulator, so the artifact
+block is deterministic and comparator-safe (top-level, like ``qos``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.core.futures import OpFuture
+from repro.distributed.courier import Courier
+from repro.errors import TransactionAborted
+from repro.replica.cluster import ReplicaCluster
+from repro.sim.engine import Simulator
+from repro.sim.random_streams import RandomStreams
+
+#: Acceptance floor: RO ops/s at 4 replicas over RO ops/s at 1 replica.
+RO_SPEEDUP_FLOOR = 2.0
+#: RW throughput at 4 replicas must stay within this factor of 1 replica.
+RW_TOLERANCE = 0.15
+
+
+class _ReadServer:
+    """A replica's serving capacity: one request at a time, FIFO."""
+
+    def __init__(self, sim: Simulator, service_time: float):
+        self.sim = sim
+        self.service_time = service_time
+        self.queue: deque[OpFuture] = deque()
+        self.busy = False
+        self.served = 0
+
+    def submit(self) -> OpFuture:
+        slot = OpFuture(label="read-slot")
+        self.queue.append(slot)
+        if not self.busy:
+            self._start_next()
+        return slot
+
+    def _start_next(self) -> None:
+        if not self.queue:
+            self.busy = False
+            return
+        self.busy = True
+        slot = self.queue.popleft()
+
+        def done() -> None:
+            self.served += 1
+            slot.resolve(None)
+            self._start_next()
+
+        self.sim.call_in(self.service_time, done)
+
+
+def _run_scale_point(
+    seed: int,
+    n_replicas: int,
+    *,
+    duration: float,
+    readers: int,
+    writers: int,
+    service_time: float,
+    n_keys: int = 8,
+) -> dict[str, Any]:
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    cluster = ReplicaCluster(
+        n_replicas=n_replicas, courier=Courier(sim=sim, latency=0.5), checked=False
+    )
+    servers = {
+        rid: _ReadServer(sim, service_time) for rid in cluster.replicas
+    }
+    keys = [f"k{i}" for i in range(n_keys)]
+    tallies = {"ro_reads": 0, "ro_sessions": 0, "rw_commits": 0, "rw_aborts": 0}
+
+    def writer(i: int):
+        rng = streams.stream(f"bench.writer-{i}")
+        db = cluster.primary
+        while sim.now < duration:
+            yield rng.expovariate(1.0)
+            if sim.now >= duration:
+                return
+            txn = db.begin()
+            try:
+                for key in rng.sample(keys, 2):
+                    yield rng.expovariate(2.0)
+                    value = yield db.read(txn, key)
+                    yield db.write(txn, key, (value or 0) + 1)
+                yield db.commit(txn)
+                tallies["rw_commits"] += 1
+            except TransactionAborted:
+                if txn.is_active:
+                    db.abort(txn)
+                tallies["rw_aborts"] += 1
+
+    def reader(i: int):
+        rng = streams.stream(f"bench.reader-{i}")
+        while sim.now < duration:
+            yield rng.expovariate(1.0)
+            if sim.now >= duration:
+                return
+            replica = cluster.pick_replica()
+            assert replica is not None
+            server = servers[replica.replica_id]
+            txn = replica.begin(read_only=True)
+            for key in rng.sample(keys, 3):
+                yield server.submit()  # queue for the replica's capacity
+                replica.read(txn, key).result()
+                tallies["ro_reads"] += 1
+            replica.commit(txn).result()
+            tallies["ro_sessions"] += 1
+
+    for i in range(writers):
+        sim.spawn(writer(i), name=f"writer-{i}")
+    for i in range(readers):
+        sim.spawn(reader(i), name=f"reader-{i}")
+    sim.run()
+
+    return {
+        "replicas": n_replicas,
+        "ro_ops_per_s": round(tallies["ro_reads"] / duration, 4),
+        "ro_sessions_per_s": round(tallies["ro_sessions"] / duration, 4),
+        "rw_commits_per_s": round(tallies["rw_commits"] / duration, 4),
+        "rw_aborts": tallies["rw_aborts"],
+        "max_lag_txns": cluster.max_lag_txns(),
+        "events": sim.events_dispatched,
+    }
+
+
+def run_replica_scaling(
+    seed: int = 0,
+    *,
+    replica_counts: tuple[int, ...] = (1, 2, 4),
+    duration: float = 200.0,
+    readers: int = 32,
+    writers: int = 6,
+    service_time: float = 0.5,
+) -> dict[str, Any]:
+    """Measure RO/RW throughput across replica counts; returns the block.
+
+    The reader fleet's offered load (~``readers * 3 / (think + queueing)``
+    reads per time unit) well exceeds one replica's capacity
+    (``1 / service_time``), so a single replica saturates and added
+    replicas convert directly into read throughput.  The writer population
+    never touches the replica tier, so its commit rate must stay flat
+    within :data:`RW_TOLERANCE`.
+    """
+    points = {
+        n: _run_scale_point(
+            seed,
+            n,
+            duration=duration,
+            readers=readers,
+            writers=writers,
+            service_time=service_time,
+        )
+        for n in replica_counts
+    }
+    low, high = min(replica_counts), max(replica_counts)
+    base_ro = points[low]["ro_ops_per_s"]
+    base_rw = points[low]["rw_commits_per_s"]
+    speedup = points[high]["ro_ops_per_s"] / base_ro if base_ro else 0.0
+    rw_ratio = points[high]["rw_commits_per_s"] / base_rw if base_rw else 0.0
+    violations = []
+    if speedup < RO_SPEEDUP_FLOOR:
+        violations.append(
+            f"RO speedup {speedup:.2f}x from {low} to {high} replicas "
+            f"below the {RO_SPEEDUP_FLOOR}x floor"
+        )
+    if abs(rw_ratio - 1.0) > RW_TOLERANCE:
+        violations.append(
+            f"RW throughput moved {rw_ratio:.2f}x from {low} to {high} "
+            f"replicas (tolerance {RW_TOLERANCE:.0%})"
+        )
+    return {
+        "seed": seed,
+        "duration": duration,
+        "readers": readers,
+        "writers": writers,
+        "service_time": service_time,
+        "scaling": {str(n): points[n] for n in replica_counts},
+        "ro_speedup": round(speedup, 4),
+        "rw_ratio": round(rw_ratio, 4),
+        "ok": not violations,
+        "violations": violations,
+    }

@@ -1,0 +1,406 @@
+"""Seeded replication campaign: snapshot consistency under network faults.
+
+One campaign runs a writer population against the primary and a reader
+population whose snapshots route through :class:`ReplicatedDatabase` to the
+replica tier, while a :class:`~repro.faults.FaultyCourier` corrupts the
+shipping channels per a seeded spec — drops, duplicates, delay spikes, and
+per-replica partition windows derived from the master seed.  Half-way
+through (by default) the primary fail-stops and the most advanced replica
+is promoted through the recovery path.
+
+Checked throughout and at the end:
+
+* **snapshot consistency** — no read-only transaction ever observes a
+  version whose creator ``tn`` exceeds its snapshot number (``sn =
+  vtnc_replica`` at begin), i.e. no replica serves above its watermark;
+* **monotone watermarks** — every replica's ``vtnc`` only advances, and
+  never exceeds the primary's;
+* **convergence** — after the run drains and shipping catches up, every
+  replica's committed store state equals the (current) primary's, and the
+  watermarks meet the primary's ``vtnc``;
+* **determinism** — a second run from the same seed produces an identical
+  fingerprint (commit/read tallies, event count, final watermarks, and a
+  hash of the converged store).
+
+``python -m repro drill --campaign replication`` sweeps seeds through this;
+the bench artifact's ``replica`` block uses the scaling benchmark in
+:mod:`repro.replica.bench` instead.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ProtocolError, TransactionAborted
+from repro.faults.courier import FaultyCourier, RetryPolicy
+from repro.faults.schedule import FaultSchedule, FaultSpec, PartitionWindow
+from repro.replica.cluster import ReplicaCluster
+from repro.replica.session import ReplicatedDatabase
+from repro.sim.engine import Simulator
+from repro.sim.random_streams import RandomStreams
+from repro.sim.stats import Summary
+
+#: Fault mix for the replication drill: noticeably lossy shipping channels.
+REPLICATION_SPEC = FaultSpec(drop=0.10, duplicate=0.08, delay_spike=0.08)
+
+
+@dataclass
+class ReplicationPhase:
+    """What one seeded run observed."""
+
+    rw_commits: int = 0
+    rw_aborts: int = 0
+    ro_commits: int = 0
+    ro_reads: int = 0
+    ro_served: int = 0
+    ro_redirects: int = 0
+    ro_stale: int = 0
+    max_lag_txns: int = 0
+    staleness: Summary = field(default_factory=Summary)
+    promoted_replica: int | None = None
+    events_dispatched: int = 0
+    final_vtncs: tuple = ()
+    primary_vtnc: int = 0
+    store_fingerprint: int = 0
+    faults: dict[str, int] = field(default_factory=dict)
+    messages: int = 0
+    violations: list[str] = field(default_factory=list)
+    wedged: list[str] = field(default_factory=list)
+
+    def fingerprint(self) -> tuple:
+        """Two same-seed runs must agree on every component."""
+        return (
+            self.rw_commits,
+            self.rw_aborts,
+            self.ro_commits,
+            self.ro_reads,
+            self.ro_served,
+            self.ro_redirects,
+            self.ro_stale,
+            self.events_dispatched,
+            self.final_vtncs,
+            self.primary_vtnc,
+            self.store_fingerprint,
+        )
+
+
+@dataclass
+class ReplicationReport:
+    """Outcome of one seeded replication campaign."""
+
+    seed: int
+    duration: float
+    n_replicas: int
+    writers: int
+    readers: int
+    promote: bool
+    phase: ReplicationPhase
+    faults: dict[str, int] = field(default_factory=dict)
+    messages: int = 0
+    deterministic: bool = True
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.phase.wedged
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "duration": self.duration,
+            "n_replicas": self.n_replicas,
+            "writers": self.writers,
+            "readers": self.readers,
+            "promote": self.promote,
+            "rw_commits": self.phase.rw_commits,
+            "rw_aborts": self.phase.rw_aborts,
+            "ro_commits": self.phase.ro_commits,
+            "ro_reads": self.phase.ro_reads,
+            "ro_served": self.phase.ro_served,
+            "ro_redirects": self.phase.ro_redirects,
+            "ro_stale": self.phase.ro_stale,
+            "max_lag_txns": self.phase.max_lag_txns,
+            "staleness_max": self.phase.staleness.maximum,
+            "promoted_replica": self.phase.promoted_replica,
+            "final_vtncs": list(self.phase.final_vtncs),
+            "primary_vtnc": self.phase.primary_vtnc,
+            "faults": dict(self.faults),
+            "messages": self.messages,
+            "deterministic": self.deterministic,
+            "violations": list(self.violations),
+            "wedged": list(self.phase.wedged),
+            "ok": self.ok,
+        }
+
+
+def _committed_dump(store) -> dict:
+    """Committed versions with tn > 0 — the replicated portion of a store.
+
+    The initial version 0 of every object exists implicitly on each copy
+    (the primary materializes it lazily on first touch, replicas on first
+    applied write), so only shipped versions participate in convergence.
+    """
+    dump: dict = {}
+    for key in store.keys():
+        chain = [
+            (v.tn, v.value)
+            for v in store.object(key).versions()
+            if v.tn > 0 and not v.pending
+        ]
+        if chain:
+            dump[key] = tuple(chain)
+    return dump
+
+
+def _dump_fingerprint(dump: dict) -> int:
+    payload = repr(sorted(dump.items(), key=lambda item: repr(item[0])))
+    return zlib.crc32(payload.encode("utf-8"))
+
+
+def _partition_windows(
+    streams: RandomStreams, duration: float, n_replicas: int
+) -> tuple[PartitionWindow, ...]:
+    """Seed-derived partition windows over the shipping channels.
+
+    Each replica's ``ship.<rid>`` channel gets (with high probability) one
+    outage somewhere in the first two-thirds of the run, healing well
+    before the end so convergence is reachable.
+    """
+    rng = streams.stream("replica.partitions")
+    windows = []
+    for rid in range(1, n_replicas + 1):
+        if rng.random() < 0.85:
+            start = rng.uniform(0.15, 0.45) * duration
+            length = rng.uniform(0.05, 0.20) * duration
+            windows.append(PartitionWindow(f"ship.{rid}", start, start + length))
+    return tuple(windows)
+
+
+def _run_phase(
+    seed: int,
+    *,
+    duration: float,
+    n_replicas: int,
+    writers: int,
+    readers: int,
+    spec: FaultSpec,
+    max_staleness: int,
+    promote_at: float | None,
+    n_keys: int = 8,
+) -> ReplicationPhase:
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    latency_rng = streams.stream("latency")
+    full_spec = FaultSpec(
+        drop=spec.drop,
+        duplicate=spec.duplicate,
+        delay_spike=spec.delay_spike,
+        spike_factor=spec.spike_factor,
+        partitions=spec.partitions
+        + _partition_windows(streams, duration, n_replicas),
+    )
+    schedule = FaultSchedule(spec=full_spec, seed=seed)
+    courier = FaultyCourier(
+        schedule=schedule,
+        retry=RetryPolicy(max_attempts=6, base=0.5, cap=10.0),
+        sim=sim,
+        latency=lambda: latency_rng.expovariate(2.0),
+    )
+    cluster = ReplicaCluster(n_replicas=n_replicas, courier=courier, checked=True)
+    session = ReplicatedDatabase(
+        cluster, max_staleness=max_staleness, stale_policy="redirect"
+    )
+    stats = ReplicationPhase()
+    keys = [f"k{i}" for i in range(n_keys)]
+    last_vtnc: dict[int, int] = {rid: 0 for rid in cluster.replicas}
+
+    def check_watermarks() -> None:
+        primary_vtnc = cluster.primary.vc.vtnc
+        for rid, replica in cluster.replicas.items():
+            prev = last_vtnc.get(rid, 0)
+            if replica.vtnc < prev:
+                stats.violations.append(
+                    f"replica {rid} watermark regressed {prev} -> {replica.vtnc}"
+                )
+            last_vtnc[rid] = replica.vtnc
+            if replica.vtnc > primary_vtnc:
+                stats.violations.append(
+                    f"replica {rid} watermark {replica.vtnc} above primary "
+                    f"{primary_vtnc}"
+                )
+            lag = cluster.lag_txns(replica)
+            if lag > stats.max_lag_txns:
+                stats.max_lag_txns = lag
+        for rid in list(last_vtnc):
+            if rid not in cluster.replicas:
+                del last_vtnc[rid]  # promoted out of the replica set
+
+    def writer(i: int):
+        rng = streams.stream(f"replica.writer-{i}")
+        while sim.now < duration:
+            yield rng.expovariate(0.5)
+            if sim.now >= duration:
+                return
+            db = cluster.primary  # re-fetch: survives a fail-over
+            txn = db.begin()
+            try:
+                for key in rng.sample(keys, 2):
+                    yield rng.expovariate(2.0)  # service time
+                    value = yield db.read(txn, key)
+                    yield db.write(txn, key, (value or 0) + 1)
+                yield db.commit(txn)
+                stats.rw_commits += 1
+            except (TransactionAborted, ProtocolError):
+                # Deadlock victim, or the primary failed over while this
+                # client held an open transaction (SITE_FAILURE through a
+                # pending lock future, or ProtocolError from the entry
+                # guard of an already-aborted descriptor).
+                if txn.is_active:
+                    db.abort(txn)
+                stats.rw_aborts += 1
+
+    def reader(i: int):
+        rng = streams.stream(f"replica.reader-{i}")
+        while sim.now < duration:
+            yield rng.expovariate(1.0)
+            if sim.now >= duration:
+                return
+            with session.snapshot() as snap:
+                staleness = snap.staleness
+                if staleness is not None:
+                    stats.staleness.add(staleness)
+                for key in rng.sample(keys, 3):
+                    snap.read(key)
+                    stats.ro_reads += 1
+                # The invariant under test: no read above the snapshot,
+                # hence never above the serving replica's watermark.
+                for key, tn in snap.txn.read_set.items():
+                    if tn is not None and snap.txn.sn is not None:
+                        if tn > snap.txn.sn:
+                            stats.violations.append(
+                                f"read of tn {tn} above sn {snap.txn.sn} "
+                                f"(key {key!r})"
+                            )
+            stats.ro_commits += 1
+
+    def watcher():
+        while sim.now < duration:
+            yield duration / 50.0
+            check_watermarks()
+
+    def promoter():
+        assert promote_at is not None
+        yield promote_at
+        promoted = cluster.fail_over()
+        stats.promoted_replica = promoted.replica_id
+        check_watermarks()
+
+    for i in range(writers):
+        sim.spawn(writer(i), name=f"writer-{i}")
+    for i in range(readers):
+        sim.spawn(reader(i), name=f"reader-{i}")
+    sim.spawn(watcher(), name="watermark-watcher")
+    if promote_at is not None:
+        sim.spawn(promoter(), name="promoter")
+    sim.run()
+
+    # Quiesce: re-ship anything unacknowledged until every replica holds the
+    # full durable log (two rounds cover acks lost in the final drain).
+    for _ in range(3):
+        cluster.shipper.catch_up_all()
+        sim.run()
+        if all(
+            cluster.lag_records(r) == 0 for r in cluster.replicas.values()
+        ):
+            break
+    check_watermarks()
+
+    stats.wedged = [p.name for p in sim.blocked_processes()]
+    stats.events_dispatched = sim.events_dispatched
+    stats.primary_vtnc = cluster.primary.vc.vtnc
+    stats.final_vtncs = tuple(
+        cluster.replicas[rid].vtnc for rid in sorted(cluster.replicas)
+    )
+    counters = cluster.counters
+    stats.ro_served = counters.get("replica.ro.served")
+    stats.ro_redirects = counters.get("replica.ro.redirect")
+    stats.ro_stale = counters.get("replica.ro.stale")
+
+    # Convergence: every replica's committed state equals the primary's.
+    primary_dump = _committed_dump(cluster.primary.store)
+    stats.store_fingerprint = _dump_fingerprint(primary_dump)
+    for rid in sorted(cluster.replicas):
+        replica = cluster.replicas[rid]
+        if _committed_dump(replica.store) != primary_dump:
+            stats.violations.append(
+                f"replica {rid} store diverged from primary after healing"
+            )
+        if replica.vtnc != cluster.primary.vc.vtnc:
+            stats.violations.append(
+                f"replica {rid} watermark {replica.vtnc} != primary "
+                f"{cluster.primary.vc.vtnc} after healing"
+            )
+    stats.faults = schedule.counts.as_dict()
+    stats.messages = courier.delivered
+    return stats
+
+
+def run_replication_campaign(
+    seed: int = 0,
+    *,
+    duration: float = 400.0,
+    n_replicas: int = 3,
+    writers: int = 4,
+    readers: int = 6,
+    max_staleness: int = 8,
+    spec: FaultSpec | None = None,
+    promote: bool = True,
+    verify_determinism: bool = True,
+) -> ReplicationReport:
+    """Run one seeded replication campaign and check its guarantees.
+
+    With ``promote`` the primary fail-stops at ``0.55 * duration`` and the
+    most advanced replica takes over through the recovery path.  With
+    ``verify_determinism`` the whole run repeats from the same seed and the
+    two fingerprints must match.
+    """
+    spec = spec if spec is not None else REPLICATION_SPEC
+    knobs = dict(
+        duration=duration,
+        n_replicas=n_replicas,
+        writers=writers,
+        readers=readers,
+        spec=spec,
+        max_staleness=max_staleness,
+        promote_at=0.55 * duration if promote else None,
+    )
+    phase = _run_phase(seed, **knobs)
+    deterministic = True
+    if verify_determinism:
+        replay = _run_phase(seed, **knobs)
+        deterministic = replay.fingerprint() == phase.fingerprint()
+
+    report = ReplicationReport(
+        seed=seed,
+        duration=duration,
+        n_replicas=n_replicas,
+        writers=writers,
+        readers=readers,
+        promote=promote,
+        phase=phase,
+        faults=dict(phase.faults),
+        messages=phase.messages,
+        deterministic=deterministic,
+    )
+    report.violations.extend(phase.violations)
+    if not phase.rw_commits:
+        report.violations.append("no read-write commits: workload inert")
+    if not phase.ro_commits:
+        report.violations.append("no read-only commits: replica path inert")
+    if promote and phase.promoted_replica is None:
+        report.violations.append("promotion did not happen")
+    if not deterministic:
+        report.violations.append("campaign not deterministic under fixed seed")
+    return report

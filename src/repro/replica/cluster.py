@@ -1,0 +1,188 @@
+"""A primary plus N log-shipped read replicas behind one handle.
+
+The cluster owns the wiring: a :class:`~repro.replica.ship.ShippedLog`
+under a :class:`~repro.protocols.recoverable.RecoverableVC2PLScheduler`
+primary, a :class:`~repro.replica.ship.LogShipper` subscribed to the log's
+force hook, and the :class:`~repro.replica.node.Replica` set.  Every commit
+on the primary forces the log and therefore ships, so replication needs no
+cooperation from the protocol code at all.
+
+**Promotion** (:meth:`ReplicaCluster.fail_over`) reuses the ordinary
+crash-recovery path: the most-advanced replica's applied log — by
+construction a record-for-record prefix of the old primary's durable log —
+is handed to :func:`repro.storage.wal.recover`, and the rebuilt store and
+version control become a fresh primary.  The promotion epoch increments so
+segments still in flight from the deposed primary are discarded by every
+replica, and survivors re-subscribe from their own applied offsets (valid
+prefixes of the promoted log, because the promoted replica was the most
+advanced).  Commits durable on the old primary but never shipped are lost —
+the classic asynchronous-replication trade, quantified here as the
+replication lag at the moment of the crash.
+
+The replicated primary never truncates its log (no ``checkpoint()`` calls):
+shipping addresses records by absolute offset, and truncation would shift
+them under the replicas.  ``docs/replication.md`` discusses the trade.
+"""
+
+from __future__ import annotations
+
+from repro.core.interface import SchedulerCounters
+from repro.distributed.courier import Courier
+from repro.errors import AbortReason, ProtocolError, TransactionAborted
+from repro.obs.tracer import NULL_TRACER
+from repro.protocols.recoverable import RecoverableVC2PLScheduler
+from repro.replica.node import Replica
+from repro.replica.ship import LogShipper, ShippedLog
+from repro.storage.wal import recover
+
+
+class ReplicaCluster:
+    """One write primary, N read replicas, and the shipping between them."""
+
+    def __init__(
+        self,
+        n_replicas: int = 2,
+        courier: Courier | None = None,
+        checked: bool = True,
+    ):
+        self.courier = courier if courier is not None else Courier()
+        self._checked = checked
+        self.epoch = 0
+        self.log = ShippedLog()
+        self.primary = RecoverableVC2PLScheduler(log=self.log, checked=checked)
+        self.shipper = LogShipper(self.log, self.courier, epoch=self.epoch)
+        self.log.subscribe_force(self.shipper.ship)
+        self.replicas: dict[int, Replica] = {}
+        #: Cluster-level counters: RO routing decisions and promotions.
+        self.counters = SchedulerCounters()
+        self.tracer = NULL_TRACER
+        self.promotions = 0
+        self._next_rid = 1
+        self._rr = 0  # round-robin cursor for pick_replica
+        for _ in range(n_replicas):
+            self.add_replica()
+
+    # -- membership --------------------------------------------------------------
+
+    def add_replica(self) -> Replica:
+        """Create, subscribe, and catch up a fresh replica."""
+        replica = Replica(self._next_rid)
+        replica.epoch = self.epoch
+        self._next_rid += 1
+        self.replicas[replica.replica_id] = replica
+        self.shipper.add_replica(replica)
+        return replica
+
+    def pick_replica(self) -> Replica | None:
+        """Deterministic round-robin over the replica set (None if empty)."""
+        if not self.replicas:
+            return None
+        rids = sorted(self.replicas)
+        rid = rids[self._rr % len(rids)]
+        self._rr += 1
+        return self.replicas[rid]
+
+    # -- lag ---------------------------------------------------------------------
+
+    def lag_txns(self, replica: Replica) -> int:
+        """Watermark distance ``vtnc_primary - vtnc_replica``, ground truth."""
+        return max(self.primary.vc.vtnc - replica.vtnc, 0)
+
+    def lag_records(self, replica: Replica) -> int:
+        """Durable log records the replica has not applied yet."""
+        return max(self.log.durable_length() - replica.applied_offset, 0)
+
+    def max_lag_txns(self) -> int:
+        if not self.replicas:
+            return 0
+        return max(self.lag_txns(r) for r in self.replicas.values())
+
+    # -- promotion ---------------------------------------------------------------
+
+    def fail_over(self, replica_id: int | None = None) -> Replica:
+        """Crash the primary and promote a replica through the recovery path.
+
+        Picks the most-advanced replica (largest applied offset, smallest
+        id on ties) unless ``replica_id`` names one explicitly — in which
+        case it must be at least as advanced as every survivor, or the
+        survivors' applied prefixes would not be prefixes of the new
+        primary's log and the cluster would diverge.  Returns the promoted
+        replica (now detached from the replica set).
+        """
+        if not self.replicas:
+            raise ProtocolError("fail_over requires at least one replica")
+
+        # Fail-stop the old primary: every queued lock request fails with
+        # SITE_FAILURE (aborting its requester, exactly like a site crash in
+        # the distributed layer), remaining actives abort, the volatile log
+        # tail is lost, and the old shipper stops — a deposed primary that
+        # keeps committing must not reach the replica set.
+        old = self.primary
+        old.locks.crash(
+            lambda txn_id: TransactionAborted(
+                txn_id, AbortReason.SITE_FAILURE, detail="primary failed"
+            )
+        )
+        for txn in list(old.active_transactions()):
+            if txn.is_active:
+                old.abort(txn, AbortReason.SITE_FAILURE)
+        lost = old.crash()
+        self.log.unsubscribe_force(self.shipper.ship)
+        self.shipper.detach()
+
+        best = max(
+            self.replicas.values(), key=lambda r: (r.applied_offset, -r.replica_id)
+        )
+        if replica_id is None:
+            chosen = best
+        else:
+            chosen = self.replicas[replica_id]
+            if chosen.applied_offset < best.applied_offset:
+                raise ProtocolError(
+                    f"replica {replica_id} (applied={chosen.applied_offset}) is "
+                    f"behind replica {best.replica_id} "
+                    f"(applied={best.applied_offset}); promoting it would "
+                    "diverge the survivors"
+                )
+        del self.replicas[chosen.replica_id]
+
+        # The recovery path, reused verbatim: the promoted replica's applied
+        # log is a durable prefix of the old primary's log.
+        store, vc = recover(chosen.log)
+        self.epoch += 1
+        # Retire the promoted replica's receive path: its log is the new
+        # primary's log now, and a deposed-primary segment still in flight
+        # to it would otherwise append the lost tail into the promoted log
+        # — colliding with the tns the new primary is about to assign.
+        chosen.adopt_epoch(self.epoch)
+        self.log = chosen.log
+        self.primary = RecoverableVC2PLScheduler(
+            log=self.log, store=store, version_control=vc, checked=self._checked
+        )
+        self.shipper = LogShipper(self.log, self.courier, epoch=self.epoch)
+        self.log.subscribe_force(self.shipper.ship)
+        for replica in self.replicas.values():
+            # Re-subscription is a synchronous control step: the survivor
+            # adopts the new epoch *before* any data-plane traffic, so the
+            # deposed primary's in-flight segments (possibly extending past
+            # the promoted prefix) can no longer reach its log.
+            replica.adopt_epoch(self.epoch)
+            self.shipper.add_replica(replica, from_offset=replica.applied_offset)
+        self.promotions += 1
+        self.counters.bump("replica.promotions")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "replica.promote",
+                replica=chosen.replica_id,
+                epoch=self.epoch,
+                vtnc=vc.vtnc,
+                lost_volatile_records=lost,
+                survivors=len(self.replicas),
+            )
+        return chosen
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ReplicaCluster epoch={self.epoch} replicas={sorted(self.replicas)} "
+            f"vtnc={self.primary.vc.vtnc}>"
+        )

@@ -143,6 +143,22 @@ class WriteAheadLog:
     def durable_records(self) -> list[LogRecord]:
         return list(self._records[: self._durable])
 
+    def durable_length(self) -> int:
+        """Offset of the durable boundary (number of durable records)."""
+        return self._durable
+
+    def durable_suffix(self, offset: int) -> list[LogRecord]:
+        """Durable records from ``offset`` on — the log-shipping unit.
+
+        A replica that has applied (or acknowledged) a prefix of length
+        ``offset`` catches up by applying exactly this suffix; shipping it
+        again is harmless because application is idempotent
+        (:func:`install_committed`).
+        """
+        if offset < 0:
+            raise ValueError(f"negative log offset {offset}")
+        return list(self._records[offset : self._durable])
+
     def all_records(self) -> list[LogRecord]:
         return list(self._records)
 
@@ -195,6 +211,27 @@ def validate_durable(log: WriteAheadLog) -> list[LogRecord]:
     return records[:boundary]
 
 
+def install_committed(
+    store: MVStore, tn: int, items: Iterable[tuple[Hashable, Any]]
+) -> None:
+    """Idempotently install one committed transaction's writes under ``tn``.
+
+    The single apply primitive shared by crash recovery and replica
+    catch-up: re-applying the same durable prefix any number of times
+    (a duplicated shipment, a restarted replay) converges to the same
+    version chains, because an already-present version is overwritten in
+    place instead of raising on the duplicate ``tn``.  Callers pass items
+    in log order, so the last write per key wins — same as first apply.
+    """
+    for key, value in items:
+        obj = store.object(key)
+        existing = obj.find(tn)
+        if existing is None:
+            store.install(key, tn, value)
+        else:
+            existing.value = value
+
+
 def recover(log: WriteAheadLog) -> tuple[MVStore, VersionControl]:
     """Rebuild store and version control from the durable log.
 
@@ -243,12 +280,7 @@ def recover(log: WriteAheadLog) -> tuple[MVStore, VersionControl]:
     for txn_id, tn in sorted(committed.items(), key=lambda item: item[1]):
         if txn_id in aborted:  # pragma: no cover - protocol never does both
             continue
-        for key, value in writes.get(txn_id, ()):  # last write per key wins
-            obj = store.object(key)
-            if obj.find(tn) is None:
-                store.install(key, tn, value)
-            else:
-                obj.find(tn).value = value
+        install_committed(store, tn, writes.get(txn_id, ()))
         max_tn = max(max_tn, tn)
 
     vc = VersionControl(first_tn=max_tn + 1)

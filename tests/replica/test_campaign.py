@@ -1,0 +1,42 @@
+"""Campaign and bench smoke tests (short durations; CI runs the full drill)."""
+
+from repro.replica.bench import run_replica_scaling
+from repro.replica.campaign import run_replication_campaign
+
+
+class TestReplicationCampaign:
+    def test_seeded_campaign_passes(self):
+        report = run_replication_campaign(seed=0, duration=80.0)
+        assert report.ok, report.violations
+        assert report.phase.rw_commits > 0
+        assert report.phase.ro_commits > 0
+        assert report.phase.promoted_replica is not None
+        assert report.deterministic
+        # Faults actually fired — the run exercised the lossy path.
+        assert report.faults.get("drops", 0) > 0
+
+    def test_campaign_without_promotion(self):
+        report = run_replication_campaign(
+            seed=1, duration=60.0, promote=False, verify_determinism=False
+        )
+        assert report.ok, report.violations
+        assert report.phase.promoted_replica is None
+
+    def test_as_dict_round_trip(self):
+        report = run_replication_campaign(
+            seed=2, duration=50.0, verify_determinism=False
+        )
+        data = report.as_dict()
+        assert data["ok"] == report.ok
+        assert data["rw_commits"] == report.phase.rw_commits
+        assert len(data["final_vtncs"]) == report.n_replicas - 1  # one promoted
+
+
+class TestReplicaScalingBench:
+    def test_ro_scales_rw_flat(self):
+        block = run_replica_scaling(seed=0, duration=80.0)
+        assert block["ok"], block["violations"]
+        assert block["ro_speedup"] >= 2.0
+        assert abs(block["rw_ratio"] - 1.0) <= 0.15
+        # Comparator safety: the block is not shaped like a protocol entry.
+        assert "throughput" not in block

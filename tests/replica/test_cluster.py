@@ -1,0 +1,112 @@
+"""Cluster tests: wiring, lag accounting, and promotion via recovery."""
+
+import pytest
+
+from repro.errors import ProtocolError, TransactionAborted
+from repro.histories import assert_one_copy_serializable
+from repro.replica.cluster import ReplicaCluster
+
+
+def _commit(cluster, key, value):
+    db = cluster.primary
+    txn = db.begin()
+    db.write(txn, key, value).result()
+    db.commit(txn).result()
+    return txn.tn
+
+
+class TestClusterWiring:
+    def test_every_commit_reaches_every_replica(self):
+        cluster = ReplicaCluster(n_replicas=3)
+        for i in range(4):
+            _commit(cluster, f"k{i}", i)
+        for replica in cluster.replicas.values():
+            assert replica.vtnc == cluster.primary.vc.vtnc == 4
+            assert cluster.lag_records(replica) == 0
+
+    def test_pick_replica_round_robin(self):
+        cluster = ReplicaCluster(n_replicas=3)
+        picks = [cluster.pick_replica().replica_id for _ in range(6)]
+        assert picks == [1, 2, 3, 1, 2, 3]
+
+    def test_add_replica_catches_up_on_join(self):
+        cluster = ReplicaCluster(n_replicas=1)
+        _commit(cluster, "x", 1)
+        late = cluster.add_replica()
+        assert late.vtnc == cluster.primary.vc.vtnc
+
+    def test_lag_txns_ground_truth(self):
+        cluster = ReplicaCluster(n_replicas=1)
+        _commit(cluster, "x", 1)
+        replica = cluster.pick_replica()
+        assert cluster.lag_txns(replica) == 0
+        assert cluster.max_lag_txns() == 0
+
+
+class TestFailOver:
+    def test_promotes_most_advanced_replica(self):
+        cluster = ReplicaCluster(n_replicas=2)
+        _commit(cluster, "x", 1)
+        old_vtnc = cluster.primary.vc.vtnc
+        promoted = cluster.fail_over()
+        assert promoted.replica_id not in cluster.replicas
+        assert cluster.primary.vc.vtnc == old_vtnc
+        assert cluster.epoch == 1
+        assert cluster.promotions == 1
+
+    def test_new_primary_continues_the_sequence(self):
+        cluster = ReplicaCluster(n_replicas=2)
+        _commit(cluster, "x", 1)
+        cluster.fail_over()
+        tn = _commit(cluster, "x", 2)
+        assert tn == 2  # numbering resumes above the recovered prefix
+        for replica in cluster.replicas.values():
+            assert replica.vtnc == 2  # survivors follow the new primary
+        assert_one_copy_serializable(cluster.primary.history)
+
+    def test_survivors_adopt_new_epoch(self):
+        cluster = ReplicaCluster(n_replicas=3)
+        _commit(cluster, "x", 1)
+        cluster.fail_over()
+        for replica in cluster.replicas.values():
+            assert replica.epoch == cluster.epoch == 1
+
+    def test_in_flight_rw_aborted_with_site_failure(self):
+        cluster = ReplicaCluster(n_replicas=1)
+        db = cluster.primary
+        txn = db.begin()
+        db.write(txn, "x", 1).result()
+        cluster.fail_over()
+        assert not txn.is_active
+        with pytest.raises((TransactionAborted, ProtocolError)):
+            cluster.primary.read(txn, "x").result()
+
+    def test_explicit_behind_replica_rejected(self):
+        cluster = ReplicaCluster(n_replicas=2)
+        _commit(cluster, "x", 1)
+        # Hold replica 2 back by desubscribing it, then commit more.
+        cluster.shipper.remove_replica(2)
+        _commit(cluster, "x", 2)
+        with pytest.raises(ProtocolError, match="behind"):
+            cluster.fail_over(replica_id=2)
+
+    def test_fail_over_requires_a_replica(self):
+        cluster = ReplicaCluster(n_replicas=1)
+        cluster.fail_over()
+        with pytest.raises(ProtocolError, match="at least one"):
+            cluster.fail_over()
+
+    def test_unshipped_tail_is_lost_not_corrupting(self):
+        # Commits that never reached any replica disappear at fail-over —
+        # the async-replication trade — but the survivors stay consistent.
+        cluster = ReplicaCluster(n_replicas=2)
+        _commit(cluster, "x", 1)
+        cluster.shipper.detach()          # simulate a total partition
+        cluster.log.unsubscribe_force(cluster.shipper.ship)
+        _commit(cluster, "x", 99)         # durable on the primary only
+        cluster.fail_over()
+        reader = cluster.primary.begin(read_only=True)
+        assert cluster.primary.read(reader, "x").result() == 1
+        _commit(cluster, "x", 2)
+        for replica in cluster.replicas.values():
+            assert replica.vtnc == cluster.primary.vc.vtnc

@@ -10,6 +10,7 @@ from repro.storage.wal import (
     LogRecord,
     RecordKind,
     WriteAheadLog,
+    install_committed,
     recover,
     redo_summary,
 )
@@ -175,6 +176,71 @@ def test_property_crash_anywhere_is_all_or_nothing(crash_after, values):
     expected = committed[-1] if committed else None
     assert db2.read(r, "acc").result() == expected
     assert db2.vc.vtnc == len(committed)
+
+
+def _chains(store):
+    return {
+        key: [(v.tn, v.value) for v in store.object(key).versions()]
+        for key in store.keys()
+    }
+
+
+class TestIdempotentApply:
+    """Replaying the same durable prefix twice must change nothing.
+
+    Log shipping (repro.replica) re-sends unacknowledged suffixes after
+    drops and partitions, so the apply path — the same
+    :func:`install_committed` recovery uses — must tolerate a record being
+    applied at the same log position more than once.
+    """
+
+    def _loaded_log(self):
+        db = RecoverableVC2PLScheduler()
+        for i in range(5):
+            t = db.begin()
+            db.write(t, f"k{i % 2}", i).result()
+            db.commit(t).result()
+        return db.log
+
+    def test_recover_twice_identical_chains_and_counters(self):
+        log = self._loaded_log()
+        store1, vc1 = recover(log)
+        store2, vc2 = recover(log)
+        assert _chains(store1) == _chains(store2)
+        assert (vc1.tnc, vc1.vtnc) == (vc2.tnc, vc2.vtnc)
+
+    def test_install_committed_twice_is_idempotent(self):
+        store, _vc = recover(self._loaded_log())
+        before = _chains(store)
+        install_committed(store, 5, [("k0", 4)])  # tn 5 wrote k0=4 already
+        assert _chains(store) == before
+
+    def test_double_apply_of_durable_suffix(self):
+        log = self._loaded_log()
+        store, _vc = recover(log)
+        baseline = _chains(store)
+        # Re-apply the whole durable prefix, exactly as a replica would on a
+        # duplicated shipment: stage writes, install on commit.
+        staged: dict[int, list] = {}
+        for record in log.durable_suffix(0):
+            if record.kind is RecordKind.WRITE:
+                staged.setdefault(record.txn_id, []).append(
+                    (record.key, record.value)
+                )
+            elif record.kind is RecordKind.COMMIT:
+                install_committed(store, record.tn, staged.pop(record.txn_id, ()))
+        assert _chains(store) == baseline
+
+    def test_durable_suffix_bounds(self):
+        log = WriteAheadLog()
+        log.append(LogRecord(RecordKind.WRITE, 1, key="x", value=1))
+        log.force()
+        log.append(LogRecord(RecordKind.WRITE, 2, key="y", value=2))
+        assert log.durable_length() == 1
+        assert len(log.durable_suffix(0)) == 1  # volatile tail excluded
+        assert log.durable_suffix(1) == []
+        with pytest.raises(ValueError):
+            log.durable_suffix(-1)
 
 
 class TestCheckpointing:

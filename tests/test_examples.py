@@ -23,6 +23,7 @@ EXPECTED_SNIPPETS = {
     "adaptive_contention.py": "mode=2pl",
     "order_entry_demo.py": "invariant violations",
     "debugging_tools.py": "digraph MVSG",
+    "replica_reads.py": "promoted replica",
 }
 
 
