@@ -26,7 +26,11 @@ Commands:
   ``BENCH_<rev>.json`` artifacts (throughput, latency percentiles, abort
   rates, critical-path phase shares, plus ``qos`` overload and ``replica``
   scaling blocks) with a regression comparator for CI (see
-  ``docs/benchmarks.md``).
+  ``docs/benchmarks.md``);
+* ``watch <file.jsonl>`` — replay a recorded trace through the streaming
+  SLO watchdogs: tumbling-window objectives, EWMA anomaly baselines,
+  hysteresis, and breach-triggered flight-recorder bundles; exits 3 on an
+  unexpected breach (see ``docs/slo.md``).
 """
 
 from __future__ import annotations
@@ -108,6 +112,12 @@ def cmd_bench(args: list[str]) -> int:
     return bench_main(args)
 
 
+def cmd_watch(args: list[str]) -> int:
+    from repro.obs.slo.watch import main as watch_main
+
+    return watch_main(args)
+
+
 def cmd_selfcheck(protocol: str = "vc-2pl") -> int:
     from repro.bench.runner import SimConfig, run_simulation
     from repro.protocols.registry import make_scheduler
@@ -147,9 +157,11 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_drill(rest)
     if command == "bench":
         return cmd_bench(rest)
+    if command == "watch":
+        return cmd_watch(rest)
     print(
         f"unknown command {command!r}; "
-        "try: list, demo, report, selfcheck, trace, drill, bench"
+        "try: list, demo, report, selfcheck, trace, drill, bench, watch"
     )
     return 2
 

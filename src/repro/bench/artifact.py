@@ -31,10 +31,9 @@ from typing import Any, Callable
 from repro.bench.metrics import RunMetrics
 from repro.bench.runner import SimConfig, run_simulation
 from repro.distributed.courier import Courier
-from repro.obs.exporters import RingBufferExporter
+from repro.obs.pipeline import ObsPipeline
 from repro.obs.profile import aggregate_phase_shares
 from repro.obs.spans import transaction_trees
-from repro.obs.tracer import Tracer
 from repro.sim.engine import Simulator
 from repro.workload.mixes import MIXES
 
@@ -142,8 +141,7 @@ def bench_protocol(
     """One traced benchmark run → one artifact entry for ``protocol``."""
     sim = Simulator()
     scheduler = _make_scheduler(protocol, sim)
-    ring = RingBufferExporter(capacity=span_capacity)
-    tracer = Tracer(exporters=[ring], clock=lambda: sim.now)
+    pipeline = ObsPipeline(sim=sim, ring=span_capacity)
     workload = MIXES[suite.mix](seed=seed)
     config = SimConfig(
         duration=suite.duration,
@@ -154,11 +152,12 @@ def bench_protocol(
     )
     wall_start = time.perf_counter()
     metrics: RunMetrics = run_simulation(
-        scheduler, workload, config, tracer=tracer, sim=sim
+        scheduler, workload, config, tracer=pipeline.tracer, sim=sim
     )
     wall_clock_s = time.perf_counter() - wall_start
+    pipeline.close()
 
-    events = [event.to_dict() for event in ring.events()]
+    events = pipeline.events()
     trees = transaction_trees(events)
     committed = [root for root in trees.values() if root.ok is True]
     shares = aggregate_phase_shares(committed)
@@ -169,6 +168,8 @@ def bench_protocol(
             "mean": round(metrics.vc_lag.average(metrics.duration), 6),
             "peak": metrics.vc_lag.maximum,
         }
+
+    slo = _bench_slo(protocol, suite, events)
 
     return {
         "throughput": round(metrics.throughput, 6),
@@ -188,8 +189,50 @@ def bench_protocol(
             phase: round(share, 6) for phase, share in shares.items()
         },
         "span_trees": len(committed),
-        "trace_events": len(events) + ring.dropped,
+        "trace_events": len(events) + (pipeline.ring.dropped if pipeline.ring else 0),
         "wall_clock_s": round(wall_clock_s, 3),
+        "slo": slo,
+    }
+
+
+#: Protocols whose read-only path structurally bypasses concurrency control,
+#: making "a reader blocked" an unexpected SLO breach rather than a tally.
+RO_NEVER_BLOCKS_PREFIXES = ("vc-", "dvc-")
+
+
+def _bench_slo(
+    protocol: str, suite: Suite, events: list[dict[str, Any]]
+) -> dict[str, Any]:
+    """Replay the run's trace through the SLO watchdogs → compact verdict.
+
+    Recorder-less: the bench wants the verdict (did this run breach a
+    promise or change character mid-flight?), not diagnostic bundles.
+    The block rides in each protocol entry under a key the regression
+    comparator never reads, so older baselines stay comparable.
+    """
+    from repro.obs.slo import SLOEngine, bench_objectives
+
+    ro_never_blocks = protocol.startswith(RO_NEVER_BLOCKS_PREFIXES)
+    engine = SLOEngine(
+        bench_objectives(ro_never_blocks=ro_never_blocks),
+        window=suite.duration / 16.0,
+    )
+    for event in events:
+        engine.ingest(event)
+    engine.finish()
+    report = engine.report()
+    return {
+        "ok": report["ok"],
+        "windows": report["windows_closed"],
+        "breaches": report["breaches"],
+        "objectives": {
+            name: {
+                "status": entry["status"],
+                "violations": entry["violations"],
+                "worst": entry["worst"],
+            }
+            for name, entry in report["objectives"].items()
+        },
     }
 
 
@@ -205,6 +248,9 @@ def bench_qos(seed: int) -> dict[str, Any]:
     from repro.qos.overload import run_overload_campaign
 
     report = run_overload_campaign(seed, duration=200.0, verify_determinism=False)
+    slo = None
+    if report.slo is not None:
+        slo = {"ok": report.slo["ok"], "breaches": report.slo["breaches"]}
     return {
         "shed_rate": round(report.shed_rate, 6),
         "deadline_miss_rate": round(report.deadline_miss_rate, 6),
@@ -215,6 +261,7 @@ def bench_qos(seed: int) -> dict[str, Any]:
         "staleness_max": report.overload.staleness.maximum,
         "ok": report.ok,
         "violations": list(report.violations),
+        "slo": slo,
     }
 
 
@@ -248,10 +295,23 @@ def run_suite(
         "rev": git_rev(),
         "protocols": {},
     }
+    protocol_slo: dict[str, Any] = {}
     for protocol in selected:
-        artifact["protocols"][protocol] = bench_protocol(protocol, suite, seed)
+        entry = bench_protocol(protocol, suite, seed)
+        # The per-protocol verdict lifts into a *top-level* slo block so
+        # protocol entries keep the exact shape older baselines have and
+        # the regression comparator stays oblivious.
+        protocol_slo[protocol] = entry.pop("slo")
+        artifact["protocols"][protocol] = entry
     artifact["qos"] = bench_qos(seed)
     artifact["replica"] = bench_replica(seed)
+    qos_slo = artifact["qos"].get("slo")
+    artifact["slo"] = {
+        "ok": all(block["ok"] for block in protocol_slo.values())
+        and (qos_slo is None or qos_slo["ok"]),
+        "protocols": protocol_slo,
+        "qos": qos_slo,
+    }
     return artifact
 
 
@@ -363,6 +423,25 @@ def render_artifact(artifact: dict[str, Any]) -> str:
             f"{qos.get('ro_p99_under_overload', 0.0):.3f} under overload "
             f"({qos.get('ro_p99_ratio', 0.0):.2f}x)"
         )
+    slo = artifact.get("slo")
+    if slo:
+        verdict = "ok" if slo.get("ok") else "BREACH"
+        breached = [
+            f"{proto}:{breach.get('objective')}"
+            for proto, block in sorted(slo.get("protocols", {}).items())
+            for breach in block.get("breaches", [])
+            if not breach.get("expected")
+        ]
+        detail = f" unexpected: {', '.join(breached)}" if breached else ""
+        lines.append(
+            f"slo [{verdict}]: {len(slo.get('protocols', {}))} protocols "
+            f"watched, qos="
+            + (
+                "ok" if (slo.get("qos") or {}).get("ok") else
+                ("BREACH" if slo.get("qos") else "-")
+            )
+            + detail
+        )
     replica = artifact.get("replica")
     if replica:
         verdict = "ok" if replica.get("ok") else "FAIL"
@@ -390,6 +469,8 @@ def main(argv: list[str]) -> int:
       --baseline PATH  compare the fresh artifact against PATH; exit 1 on
                        regression beyond tolerance
       --compare A B    compare two existing artifacts (no run) and exit
+      --slo            exit 1 if the run's SLO watchdogs report an
+                       unexpected breach (the artifact's top-level slo block)
       --cprofile       additionally profile the run's real CPU (top functions)
       --list           list suites and exit
     """
@@ -401,6 +482,7 @@ def main(argv: list[str]) -> int:
     compare_paths: tuple[str, str] | None = None
     protocols: tuple[str, ...] | None = None
     cprofile = False
+    slo_gate = False
     index = 0
 
     def take_value(flag: str) -> str | None:
@@ -461,6 +543,8 @@ def main(argv: list[str]) -> int:
             compare_paths = (first, second)
         elif arg == "--cprofile":
             cprofile = True
+        elif arg == "--slo":
+            slo_gate = True
         else:
             print(f"unknown option {arg!r}")
             return 2
@@ -526,4 +610,8 @@ def main(argv: list[str]) -> int:
                 print(f"  {message}")
             return 1
         print(f"\nno regressions against {baseline_path}")
+
+    if slo_gate and not artifact.get("slo", {}).get("ok", True):
+        print("\nSLO BREACH: the run's watchdogs reported an unexpected breach")
+        return 1
     return 0

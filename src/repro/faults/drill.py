@@ -58,6 +58,9 @@ class DrillReport:
     faults: dict[str, int] = field(default_factory=dict)
     violations: list[str] = field(default_factory=list)
     wedged: list[str] = field(default_factory=list)
+    #: Online watchdog verdict block (``SLOEngine.report()``); None unless
+    #: the drill ran with ``slo=True``.
+    slo: dict[str, Any] | None = None
 
     @property
     def ok(self) -> bool:
@@ -76,6 +79,7 @@ class DrillReport:
             "faults": dict(self.faults),
             "violations": list(self.violations),
             "wedged": list(self.wedged),
+            "slo": self.slo,
             "ok": self.ok,
         }
 
@@ -92,6 +96,7 @@ def run_drill(
     retry: RetryPolicy | None = None,
     crash_mean: float | None = 90.0,
     tracer: Tracer = NULL_TRACER,
+    slo: bool = False,
 ) -> DrillReport:
     """Run one seeded fault drill; returns its :class:`DrillReport`.
 
@@ -99,6 +104,11 @@ def run_drill(
     (``None`` disables crashes).  Crashes stop at ``0.8 * duration`` so the
     run always has a quiet tail in which in-flight work settles before the
     final invariant sweep.
+
+    With ``slo`` an :class:`~repro.obs.slo.SLOEngine` with the ``faults``
+    profile rides the drill (sharing ``tracer`` when one is given,
+    otherwise on its own private tracer); its verdict lands in
+    ``report.slo`` and an unexpected breach becomes a violation.
     """
     if protocol not in PROTOCOLS:
         raise ValueError(f"unknown protocol {protocol!r}; pick from {PROTOCOLS}")
@@ -122,6 +132,21 @@ def run_drill(
         readers = 0  # RO anomaly is the paper result, not a fault bug
     from repro.obs.instrument import attach_tracer
 
+    engine = None
+    if slo:
+        from repro.obs.slo import FlightRecorder, SLOEngine, faults_objectives
+
+        engine = SLOEngine(
+            faults_objectives(),
+            window=duration / 16.0,
+            recorder=FlightRecorder(capacity=8192),
+        )
+        if tracer.enabled:
+            tracer.add_exporter(engine)
+        else:
+            # NULL_TRACER is shared and immutable: give the watchdogs
+            # their own private tracer instead.
+            tracer = Tracer(exporters=[engine])
     if tracer.enabled:
         tracer.clock = lambda: sim.now  # fault timelines in virtual time
     instrumentation = attach_tracer(db, tracer)
@@ -197,6 +222,16 @@ def run_drill(
     report.violations = list(checker.violations)
     report.messages = courier.delivered
     report.faults = schedule.counts.as_dict()
+    if engine is not None:
+        engine.finish()
+        report.slo = engine.report()
+        for breach in engine.unexpected_breaches:
+            report.violations.append(
+                f"slo breach: {breach.objective} value={breach.value:g} "
+                f"vs {breach.threshold} at window "
+                f"[{breach.window_start:g}, {breach.window_end:g})"
+            )
+        tracer.remove_exporter(engine)
     if tracer.enabled:
         tracer.emit(
             "fault.drill.done",
@@ -308,6 +343,12 @@ def main(argv: list[str] | None = None) -> int:
         help="write every fault event as JSONL to PATH",
     )
     parser.add_argument(
+        "--slo",
+        action="store_true",
+        help="run the online SLO watchdogs (faults profile) alongside each "
+        "drill; an unexpected breach fails the drill",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="only print the final verdict"
     )
     args = parser.parse_args(argv)
@@ -338,6 +379,11 @@ def main(argv: list[str] | None = None) -> int:
             f"crashes={report.crashes:<2d} drops={faults.get('drops', 0):<3d} "
             f"dups={faults.get('duplicates', 0):<3d} "
             f"parked={faults.get('partition_deferrals', 0)}"
+            + (
+                f" slo={'ok' if report.slo['ok'] else 'BREACH'}"
+                if report.slo is not None
+                else ""
+            )
         )
 
     print(
@@ -354,6 +400,7 @@ def main(argv: list[str] | None = None) -> int:
         spec=spec,
         crash_mean=args.crash_mean or None,
         tracer=tracer,
+        slo=args.slo,
         progress=progress,
     )
     tracer.close()

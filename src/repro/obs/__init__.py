@@ -9,7 +9,11 @@ Three pieces, designed to keep the paper's observability claims honest:
 * :mod:`repro.obs.exporters` / :mod:`repro.obs.instrument` /
   :mod:`repro.obs.analyze` — where events go, how they get wired through a
   scheduler, and how a recorded trace is read back
-  (``python -m repro trace``).
+  (``python -m repro trace``);
+* :mod:`repro.obs.pipeline` — the one-stop recipe (exporters + tracer +
+  attach/detach/close) every traced run composes from;
+* :mod:`repro.obs.slo` — continuous SLO watchdogs and the breach-triggered
+  flight recorder (``python -m repro watch``), see ``docs/slo.md``.
 
 See ``docs/observability.md`` for the event-name schema and CLI usage.
 """
@@ -25,6 +29,7 @@ from repro.obs.instrument import (
     subscribe_version_control,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.pipeline import ObsPipeline
 from repro.obs.profile import (
     CriticalPath,
     aggregate_phase_shares,
@@ -57,6 +62,7 @@ __all__ = [
     "NULL_SPAN",
     "NULL_TRACER",
     "NullTracer",
+    "ObsPipeline",
     "RingBufferExporter",
     "Span",
     "SpanContext",

@@ -68,8 +68,11 @@ class JsonlExporter:
             self._stream = path_or_stream
             self._owns_stream = False
         self.exported = 0
+        self._closed = False
 
     def export(self, event: TraceEvent) -> None:
+        if self._closed:
+            return
         json.dump(event.to_dict(), self._stream, default=repr, separators=(",", ":"))
         self._stream.write("\n")
         self.exported += 1
@@ -77,11 +80,21 @@ class JsonlExporter:
     def flush(self) -> None:
         self._stream.flush()
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
-        if self._owns_stream and not self._stream.closed:
-            self._stream.close()
-        elif not self._owns_stream:
+        """Flush-then-close, exactly once: every exported event is on disk
+        (or in the caller's stream) the moment this returns, so a trace
+        file is deterministically complete — never truncated mid-line."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._stream.closed:
             self._stream.flush()
+            if self._owns_stream:
+                self._stream.close()
 
     def __enter__(self) -> "JsonlExporter":
         return self

@@ -30,9 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import AbortReason, Overloaded, TransactionAborted
-from repro.obs.exporters import RingBufferExporter
-from repro.obs.instrument import attach_tracer
-from repro.obs.tracer import Tracer
+from repro.obs.pipeline import ObsPipeline
 from repro.qos.admission import AdmissionController
 from repro.qos.retry import BackoffPolicy
 from repro.sim.engine import Simulator
@@ -42,6 +40,16 @@ from repro.sim.stats import Summary
 #: Acceptance ceiling: overload RO p99 may not exceed this multiple of the
 #: uncontended baseline (ISSUE acceptance criterion).
 RO_P99_CEILING = 1.5
+
+#: Per-window watchdog ceiling for the online RO-p99 objective, as a
+#: multiple of the baseline phase's whole-run p99.  Looser than the
+#: run-level gate above because a windowed p99 over a few dozen samples is
+#: effectively a maximum with much heavier tails; the run-level 1.5x check
+#: still applies unchanged.
+RO_P99_WINDOW_CEILING = 2.0
+
+#: Tumbling windows per campaign phase for the online SLO engine.
+SLO_WINDOWS_PER_PHASE = 16
 
 
 @dataclass
@@ -88,6 +96,9 @@ class OverloadReport:
     overload: PhaseStats
     deterministic: bool = True
     violations: list[str] = field(default_factory=list)
+    #: Online watchdog verdict block (``SLOEngine.report()``); None when the
+    #: campaign ran with ``slo=False``.
+    slo: dict[str, Any] | None = None
 
     @property
     def ok(self) -> bool:
@@ -134,6 +145,7 @@ class OverloadReport:
             "qos_events": dict(self.overload.qos_events),
             "deterministic": self.deterministic,
             "violations": list(self.violations),
+            "slo": self.slo,
             "ok": self.ok,
         }
 
@@ -149,6 +161,7 @@ def _run_phase(
     deadline: float,
     n_keys: int = 6,
     reap_period: float = 1.0,
+    engine: Any | None = None,
 ) -> PhaseStats:
     """One closed-loop run; ``writers=0`` gives the uncontended RO baseline.
 
@@ -156,6 +169,9 @@ def _run_phase(
     genuinely convoy on locks — that is what makes deadlines bite — while
     arrivals beyond ``capacity`` are shed at begin and retry with seeded
     exponential backoff, exactly the loop ``Session.run`` implements.
+
+    ``engine`` is an optional :class:`~repro.obs.slo.SLOEngine` evaluated
+    online over the phase's event stream (the overload phase's watchdogs).
     """
     from repro.protocols.vc_two_phase_locking import VC2PLScheduler
 
@@ -164,9 +180,9 @@ def _run_phase(
     scheduler.admission = AdmissionController(
         capacity=capacity, queue_limit=2 * capacity, policy=policy
     )
-    ring = RingBufferExporter(capacity=65_536)
-    tracer = Tracer(exporters=[ring], clock=lambda: sim.now)
-    instrumentation = attach_tracer(scheduler, tracer)
+    pipeline = ObsPipeline(sim=sim, ring=65_536, engine=engine)
+    pipeline.attach(scheduler)
+    tracer = pipeline.tracer
     streams = RandomStreams(seed)
     backoff = BackoffPolicy(base=0.5, factor=2.0, cap=8.0, jitter=0.5)
     stats = PhaseStats()
@@ -214,6 +230,10 @@ def _run_phase(
                 txn = scheduler.begin(read_only=True)
             except Overloaded:  # pragma: no cover - the guarantee under test
                 stats.ro_shed += 1
+                # Tripwire for the zero-RO-shed objective: this event is
+                # structurally unreachable (RO begins bypass admission);
+                # if it ever fires, the watchdog breaches immediately.
+                tracer.emit("slo.ro_shed", seed=seed)
                 continue
             staleness = txn.meta.get("qos.staleness")
             if staleness is not None:
@@ -246,14 +266,33 @@ def _run_phase(
     if writers:
         sim.spawn(reaper(), name="deadline-reaper")
     sim.run()
-    instrumentation.detach()
-    tracer.close()
+    pipeline.close()  # detach, finish the engine's last window, flush
 
-    for event in ring.events():
-        if event.name.startswith("qos."):
-            stats.qos_events[event.name] = stats.qos_events.get(event.name, 0) + 1
+    for event in pipeline.events():
+        if event["name"].startswith("qos."):
+            stats.qos_events[event["name"]] = (
+                stats.qos_events.get(event["name"], 0) + 1
+            )
     stats.events_dispatched = sim.events_dispatched
     return stats
+
+
+def _overload_engine(baseline: PhaseStats, capacity: int, duration: float):
+    """The overload phase's online watchdogs, thresholds anchored to the
+    campaign's own uncontended baseline phase."""
+    from repro.obs.slo import FlightRecorder, SLOEngine, overload_objectives
+
+    base_p99 = baseline.ro_latency.p99
+    return SLOEngine(
+        overload_objectives(
+            capacity=capacity,
+            ro_p99_ceiling=(
+                RO_P99_WINDOW_CEILING * base_p99 if base_p99 > 0 else None
+            ),
+        ),
+        window=duration / SLO_WINDOWS_PER_PHASE,
+        recorder=FlightRecorder(capacity=16_384),
+    )
 
 
 def run_overload_campaign(
@@ -266,6 +305,7 @@ def run_overload_campaign(
     policy: str = "fifo",
     deadline: float = 10.0,
     verify_determinism: bool = True,
+    slo: bool = True,
 ) -> OverloadReport:
     """Run one seeded overload campaign and check the acceptance criteria.
 
@@ -275,6 +315,14 @@ def run_overload_campaign(
     With ``verify_determinism`` the overload phase runs twice and the two
     fingerprints must match — a mismatch is reported as a violation, not
     an exception, so campaigns report it like any other failed guarantee.
+
+    With ``slo`` (the default) an :class:`~repro.obs.slo.SLOEngine` rides
+    the overload phase, evaluating the RO-p99/zero-shed/staleness
+    objectives online; its verdict lands in ``report.slo`` and an
+    unexpected breach is a campaign violation.  Under
+    ``verify_determinism`` the replay carries a fresh engine and both
+    verdict blocks must compare equal — the watchdogs themselves are held
+    to the seeded-replay standard.
     """
     writers = max(1, int(capacity * overload_factor))
     knobs = dict(
@@ -285,11 +333,15 @@ def run_overload_campaign(
         deadline=deadline,
     )
     baseline = _run_phase(seed, writers=0, **knobs)
-    overload = _run_phase(seed, writers=writers, **knobs)
+    engine = _overload_engine(baseline, capacity, duration) if slo else None
+    overload = _run_phase(seed, writers=writers, engine=engine, **knobs)
     deterministic = True
     if verify_determinism:
-        replay = _run_phase(seed, writers=writers, **knobs)
+        replay_engine = _overload_engine(baseline, capacity, duration) if slo else None
+        replay = _run_phase(seed, writers=writers, engine=replay_engine, **knobs)
         deterministic = replay.fingerprint() == overload.fingerprint()
+        if deterministic and engine is not None:
+            deterministic = replay_engine.report() == engine.report()
 
     report = OverloadReport(
         seed=seed,
@@ -329,4 +381,12 @@ def run_overload_campaign(
         checks.append("no qos.* trace events emitted")
     if not deterministic:
         checks.append("overload phase not deterministic under fixed seed")
+    if engine is not None:
+        report.slo = engine.report()
+        for breach in engine.unexpected_breaches:
+            checks.append(
+                f"slo breach: {breach.objective} value={breach.value:g} "
+                f"vs {breach.threshold} at window "
+                f"[{breach.window_start:g}, {breach.window_end:g})"
+            )
     return report

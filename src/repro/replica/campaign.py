@@ -36,6 +36,7 @@ from typing import Any
 from repro.errors import ProtocolError, TransactionAborted
 from repro.faults.courier import FaultyCourier, RetryPolicy
 from repro.faults.schedule import FaultSchedule, FaultSpec, PartitionWindow
+from repro.obs.pipeline import ObsPipeline
 from repro.replica.cluster import ReplicaCluster
 from repro.replica.session import ReplicatedDatabase
 from repro.sim.engine import Simulator
@@ -44,6 +45,9 @@ from repro.sim.stats import Summary
 
 #: Fault mix for the replication drill: noticeably lossy shipping channels.
 REPLICATION_SPEC = FaultSpec(drop=0.10, duplicate=0.08, delay_spike=0.08)
+
+#: Tumbling windows per campaign run for the online SLO engine.
+SLO_WINDOWS_PER_RUN = 16
 
 
 @dataclass
@@ -101,6 +105,9 @@ class ReplicationReport:
     messages: int = 0
     deterministic: bool = True
     violations: list[str] = field(default_factory=list)
+    #: Online watchdog verdict block (``SLOEngine.report()``); None when the
+    #: campaign ran with ``slo=False``.
+    slo: dict[str, Any] | None = None
 
     @property
     def ok(self) -> bool:
@@ -131,6 +138,7 @@ class ReplicationReport:
             "deterministic": self.deterministic,
             "violations": list(self.violations),
             "wedged": list(self.phase.wedged),
+            "slo": self.slo,
             "ok": self.ok,
         }
 
@@ -189,7 +197,12 @@ def _run_phase(
     max_staleness: int,
     promote_at: float | None,
     n_keys: int = 8,
+    engine: Any | None = None,
 ) -> ReplicationPhase:
+    """One seeded run.  ``engine`` is an optional
+    :class:`~repro.obs.slo.SLOEngine` fed online through an
+    :class:`~repro.obs.ObsPipeline` attached to the cluster (and
+    re-attached after a fail-over rebuilds the primary and shipper)."""
     sim = Simulator()
     streams = RandomStreams(seed)
     latency_rng = streams.stream("latency")
@@ -209,6 +222,10 @@ def _run_phase(
         latency=lambda: latency_rng.expovariate(2.0),
     )
     cluster = ReplicaCluster(n_replicas=n_replicas, courier=courier, checked=True)
+    pipeline = ObsPipeline(sim=sim, engine=engine) if engine is not None else None
+    if pipeline is not None:
+        pipeline.attach(cluster)
+    tracer = pipeline.tracer if pipeline is not None else cluster.tracer
     session = ReplicatedDatabase(
         cluster, max_staleness=max_staleness, stale_policy="redirect"
     )
@@ -233,6 +250,12 @@ def _run_phase(
             lag = cluster.lag_txns(replica)
             if lag > stats.max_lag_txns:
                 stats.max_lag_txns = lag
+            if tracer.enabled:
+                # Primary-measured watermark lag: the anomaly signal the
+                # replica_lag watchdog watches.  (The replica's own
+                # staleness_bound freezes during a full partition — it
+                # hears nothing — so only this primary-side view spikes.)
+                tracer.emit("replica.lag", replica=rid, lag=lag)
         for rid in list(last_vtnc):
             if rid not in cluster.replicas:
                 del last_vtnc[rid]  # promoted out of the replica set
@@ -295,6 +318,10 @@ def _run_phase(
         yield promote_at
         promoted = cluster.fail_over()
         stats.promoted_replica = promoted.replica_id
+        if pipeline is not None:
+            # fail_over() built a fresh primary and shipper; re-attach so
+            # post-promotion events keep flowing to the watchdogs.
+            pipeline.attach(cluster)
         check_watermarks()
 
     for i in range(writers):
@@ -344,6 +371,8 @@ def _run_phase(
             )
     stats.faults = schedule.counts.as_dict()
     stats.messages = courier.delivered
+    if pipeline is not None:
+        pipeline.close()  # detach, finish the engine's last window
     return stats
 
 
@@ -358,6 +387,7 @@ def run_replication_campaign(
     spec: FaultSpec | None = None,
     promote: bool = True,
     verify_determinism: bool = True,
+    slo: bool = True,
 ) -> ReplicationReport:
     """Run one seeded replication campaign and check its guarantees.
 
@@ -365,8 +395,28 @@ def run_replication_campaign(
     most advanced replica takes over through the recovery path.  With
     ``verify_determinism`` the whole run repeats from the same seed and the
     two fingerprints must match.
+
+    With ``slo`` (the default) an :class:`~repro.obs.slo.SLOEngine` rides
+    the run, evaluating the staleness objectives online: the hard bound on
+    what served snapshots may observe, zero RO blocking, and the
+    ``replica_lag`` anomaly watchdog whose breaches during injected
+    partition windows are *expected* (they trigger the flight recorder —
+    the bundle captures the partition that caused them — without failing
+    the campaign).  The verdict lands in ``report.slo``; under
+    ``verify_determinism`` the replay carries a fresh engine and both
+    verdict blocks must compare equal.
     """
     spec = spec if spec is not None else REPLICATION_SPEC
+
+    def make_engine() -> Any:
+        from repro.obs.slo import FlightRecorder, SLOEngine, replication_objectives
+
+        return SLOEngine(
+            replication_objectives(max_staleness=max_staleness, writers=writers),
+            window=duration / SLO_WINDOWS_PER_RUN,
+            recorder=FlightRecorder(capacity=16_384),
+        )
+
     knobs = dict(
         duration=duration,
         n_replicas=n_replicas,
@@ -376,11 +426,15 @@ def run_replication_campaign(
         max_staleness=max_staleness,
         promote_at=0.55 * duration if promote else None,
     )
-    phase = _run_phase(seed, **knobs)
+    engine = make_engine() if slo else None
+    phase = _run_phase(seed, engine=engine, **knobs)
     deterministic = True
     if verify_determinism:
-        replay = _run_phase(seed, **knobs)
+        replay_engine = make_engine() if slo else None
+        replay = _run_phase(seed, engine=replay_engine, **knobs)
         deterministic = replay.fingerprint() == phase.fingerprint()
+        if deterministic and engine is not None:
+            deterministic = replay_engine.report() == engine.report()
 
     report = ReplicationReport(
         seed=seed,
@@ -403,4 +457,12 @@ def run_replication_campaign(
         report.violations.append("promotion did not happen")
     if not deterministic:
         report.violations.append("campaign not deterministic under fixed seed")
+    if engine is not None:
+        report.slo = engine.report()
+        for breach in engine.unexpected_breaches:
+            report.violations.append(
+                f"slo breach: {breach.objective} value={breach.value:g} "
+                f"vs {breach.threshold} at window "
+                f"[{breach.window_start:g}, {breach.window_end:g})"
+            )
     return report

@@ -124,9 +124,11 @@ class Replica:
                     start=start, applied=self.applied_offset,
                 )
             self._note_frontier(records)
+            self._publish_staleness()
             return self.applied_offset, self.vtnc
         self._apply(records[self.applied_offset - start :])
         self._drain_pending()
+        self._publish_staleness()
         return self.applied_offset, self.vtnc
 
     def _drain_pending(self) -> None:
@@ -207,6 +209,13 @@ class Replica:
 
     # -- staleness ---------------------------------------------------------------
 
+    def _publish_staleness(self) -> None:
+        """Keep ``replica.staleness`` current as a *gauge*, not a poll-only
+        property: watermark history (value/max/min) survives in the metrics
+        registry for dashboards and post-run assertions even after the
+        moment has passed."""
+        self.counters.registry.gauge("replica.staleness").set(self.staleness_bound)
+
     @property
     def staleness_bound(self) -> int:
         """How many committed-on-primary tns this replica cannot yet see.
@@ -238,6 +247,7 @@ class Replica:
         txn = Transaction(TxnClass.READ_ONLY)
         txn.sn = self.vtnc
         txn.meta["qos.staleness"] = self.staleness_bound
+        self._publish_staleness()
         txn.meta["replica.id"] = self.replica_id
         if deadline is not None:
             txn.meta["qos.deadline"] = float(deadline)

@@ -83,6 +83,11 @@ class GarbageCollector:
         #: Structured-event tracer (gc.sweep per pass); NULL_TRACER unless
         #: attach_tracer() wired one.
         self.tracer = NULL_TRACER
+        #: Optional MetricsRegistry publishing the version-footprint gauges
+        #: (``gc.live_versions``, ``gc.max_chain``) after every pass — the
+        #: first concrete step of the bounded-GC roadmap item.  Wired by the
+        #: owning scheduler; None keeps collect() allocation-free.
+        self.metrics = None
 
     def horizon(self) -> int:
         """The largest version number guaranteed no longer needed *below*.
@@ -102,11 +107,18 @@ class GarbageCollector:
         discarded = self._store.prune(horizon)
         self.total_discarded += discarded
         self.passes += 1
-        if self.tracer.enabled:
-            self.tracer.emit(
-                "gc.sweep",
-                horizon=horizon,
-                discarded=discarded,
-                active_readers=self.registry.active_count(),
-            )
+        if self.metrics is not None or self.tracer.enabled:
+            live, longest = self._store.chain_stats()
+            if self.metrics is not None:
+                self.metrics.gauge("gc.live_versions").set(live)
+                self.metrics.gauge("gc.max_chain").set(longest)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "gc.sweep",
+                    horizon=horizon,
+                    discarded=discarded,
+                    active_readers=self.registry.active_count(),
+                    live_versions=live,
+                    max_chain=longest,
+                )
         return discarded

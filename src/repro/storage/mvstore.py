@@ -106,6 +106,22 @@ class MVStore:
         """Total retained versions across all objects."""
         return sum(len(obj) for obj in self._objects.values())
 
+    def chain_stats(self) -> tuple[int, int]:
+        """``(live_versions, longest_chain)`` across all objects.
+
+        The two version-footprint gauges the GC instrumentation publishes
+        after every pass: total retained versions, and the longest single
+        object's chain (the worst case a snapshot read must scan).
+        """
+        total = 0
+        longest = 0
+        for obj in self._objects.values():
+            n = len(obj)
+            total += n
+            if n > longest:
+                longest = n
+        return total, longest
+
     def prune(self, horizon: float) -> int:
         """Garbage-collect: keep, per object, the newest version at or below
         ``horizon`` plus everything younger.  Returns versions discarded.

@@ -97,6 +97,23 @@ class TestArtifactSchema:
             a.pop("wall_clock_s")  # the only machine-dependent field
             b.pop("wall_clock_s")
             assert a == b, protocol
+        # The slo verdicts are virtual-time too — deterministic wholesale.
+        assert artifact["slo"] == again["slo"]
+
+    def test_slo_block_is_top_level_and_comparator_safe(self, artifact):
+        slo = artifact["slo"]
+        assert set(slo["protocols"]) == set(artifact["protocols"])
+        assert slo["ok"] is True
+        for protocol, block in slo["protocols"].items():
+            assert block["ok"], (protocol, block["breaches"])
+            # The VC family's hard promise ran as a hard objective.
+            if protocol.startswith(("vc-", "dvc-")):
+                assert block["objectives"]["ro_blocking"]["violations"] == 0
+        # Comparator safety: protocol entries keep their exact legacy shape
+        # (test_entry_shape pins it) and compare() never reads the block.
+        stripped = {k: v for k, v in artifact.items() if k != "slo"}
+        assert compare(artifact, stripped) == []
+        assert compare(stripped, artifact) == []
 
 
 class TestComparator:

@@ -1,0 +1,480 @@
+"""The streaming SLO engine: windows, hysteresis, determinism, bundles."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.slo import (
+    Breach,
+    Ewma,
+    FlightRecorder,
+    Hysteresis,
+    MaxObjective,
+    PercentileObjective,
+    RatioObjective,
+    SLOEngine,
+    WindowStats,
+    ZeroObjective,
+    bench_objectives,
+    default_objectives,
+    faults_objectives,
+    overload_objectives,
+    replication_objectives,
+)
+from repro.obs.tracer import TraceEvent, Tracer
+
+
+def _ingest(engine, events):
+    for event in events:
+        engine.ingest(event)
+    engine.finish()
+    return engine
+
+
+def _txn_events(pairs, cls="ro"):
+    """(begin_ts, commit_ts) pairs -> interleaved begin/commit event dicts."""
+    events = []
+    for i, (begin, commit) in enumerate(pairs):
+        events.append({"name": "txn.begin", "ts": begin, "txn": i, "cls": cls})
+        events.append({"name": "txn.commit", "ts": commit, "txn": i, "cls": cls})
+    return sorted(events, key=lambda e: e["ts"])
+
+
+class TestWindowStats:
+    def test_nearest_rank_percentile_matches_summary_rule(self):
+        stats = WindowStats()
+        for value in [5.0, 1.0, 3.0, 2.0, 4.0]:
+            stats.add(value)
+        assert stats.percentile(0.5) == 3.0  # ceil(0.5*5) = 3rd smallest
+        assert stats.percentile(0.99) == 5.0
+        assert stats.percentile(0.2) == 1.0
+        assert stats.count == 5
+        assert stats.mean == 3.0
+        assert stats.maximum == 5.0 and stats.minimum == 1.0
+
+    def test_reset_clears_everything(self):
+        stats = WindowStats()
+        stats.add(7.0)
+        stats.reset()
+        assert stats.count == 0
+        assert stats.percentile(0.99) == 0.0
+        assert stats.maximum == -math.inf
+
+
+class TestEwma:
+    def test_warmup_gates_readiness(self):
+        ewma = Ewma(alpha=0.5, warmup=2)
+        assert not ewma.ready
+        assert ewma.relative_deviation(100.0) == 0.0  # cold: no verdicts
+        ewma.update(10.0)
+        assert not ewma.ready
+        ewma.update(10.0)
+        assert ewma.ready
+        assert ewma.relative_deviation(30.0) == pytest.approx(2.0)
+
+    def test_first_update_seeds_the_mean(self):
+        ewma = Ewma(alpha=0.3, warmup=1)
+        ewma.update(8.0)
+        assert ewma.mean == 8.0
+        ewma.update(4.0)
+        assert ewma.mean == pytest.approx(8.0 + 0.3 * (4.0 - 8.0))
+
+    def test_zero_mean_yields_no_deviation(self):
+        ewma = Ewma(warmup=1)
+        ewma.update(0.0)
+        assert ewma.relative_deviation(5.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Ewma(alpha=0.0)
+        with pytest.raises(ValueError):
+            Ewma(warmup=0)
+
+
+class TestHysteresis:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Hysteresis(breach_after=0)
+
+    def test_breach_fires_only_after_consecutive_violations(self):
+        objective = MaxObjective(
+            "lag", "vc.lag", ceiling=5.0, hysteresis=Hysteresis(2, 1)
+        )
+        engine = SLOEngine([objective], window=10.0)
+        # Windows: [0,10) violates, [10,20) clean, [20,30)+[30,40) violate.
+        events = [
+            {"name": "vc.register", "ts": 1.0, "lag": 9},
+            {"name": "vc.register", "ts": 11.0, "lag": 1},
+            {"name": "vc.register", "ts": 21.0, "lag": 9},
+            {"name": "vc.register", "ts": 31.0, "lag": 9},
+        ]
+        _ingest(engine, events)
+        # The isolated violation at [0,10) must not breach (streak reset).
+        assert len(engine.breaches) == 1
+        assert engine.breaches[0].window_start == 30.0
+
+    def test_recovery_mid_window_does_not_clear_until_streak(self):
+        objective = MaxObjective(
+            "lag", "vc.lag", ceiling=5.0, hysteresis=Hysteresis(1, 2)
+        )
+        engine = SLOEngine([objective], window=10.0)
+        events = [
+            {"name": "vc.register", "ts": 1.0, "lag": 9},   # breach @ [0,10)
+            # Recovery *mid-window*: the clean sample at 12 closes window
+            # [10,20) clean — one good window, streak 1 of 2: still breached.
+            {"name": "vc.register", "ts": 12.0, "lag": 1},
+            {"name": "vc.register", "ts": 22.0, "lag": 1},  # streak 2: clears
+            {"name": "vc.register", "ts": 35.0, "lag": 1},
+        ]
+        _ingest(engine, events)
+        assert len(engine.breaches) == 1
+        # Cleared exactly at the end of the second clean window.
+        assert engine.breaches[0].cleared_at == 30.0
+        assert engine.report()["objectives"]["lag"]["status"] == "ok"
+
+    def test_breach_exactly_at_window_boundary_buckets_forward(self):
+        """A violating sample at exactly k*W belongs to window k, not k-1."""
+        objective = MaxObjective("lag", "vc.lag", ceiling=5.0)
+        engine = SLOEngine([objective], window=10.0)
+        events = [
+            {"name": "vc.register", "ts": 0.0, "lag": 1},
+            {"name": "vc.register", "ts": 10.0, "lag": 9},  # boundary sample
+            {"name": "vc.register", "ts": 25.0, "lag": 1},
+        ]
+        _ingest(engine, events)
+        assert len(engine.breaches) == 1
+        breach = engine.breaches[0]
+        assert (breach.window_start, breach.window_end) == (10.0, 20.0)
+
+
+class TestObjectives:
+    def test_zero_objective_counts_empty_windows_as_clean(self):
+        objective = ZeroObjective(
+            "ro_blocking", "blocked.ro", hysteresis=Hysteresis(1, 2)
+        )
+        engine = SLOEngine([objective], window=10.0)
+        events = [
+            {"name": "txn.block", "ts": 1.0, "txn": 1, "cls": "ro"},
+            # Two event-less windows pass before ts=35: with ZeroObjective
+            # they are *verdicts* (0 occurrences), so the clear streak runs.
+            {"name": "txn.begin", "ts": 35.0, "txn": 2, "cls": "ro"},
+        ]
+        _ingest(engine, events)
+        assert len(engine.breaches) == 1
+        assert engine.breaches[0].cleared_at is not None
+        assert not engine.ok  # the breach still happened and is unexpected
+
+    def test_ratio_objective_needs_min_denominator(self):
+        objective = RatioObjective(
+            "abort_rate", "abort.rw", "begin.rw", ceiling=0.5, min_denominator=4
+        )
+        engine = SLOEngine([objective], window=10.0)
+        events = []
+        # Window [0,10): 3 begins, 3 aborts — below min_denominator, no verdict.
+        for i in range(3):
+            events.append({"name": "txn.begin", "ts": 1.0 + i, "txn": i, "cls": "rw"})
+            events.append({"name": "txn.abort", "ts": 2.0 + i, "txn": i, "cls": "rw"})
+        # Window [10,20): 4 begins, 4 aborts — ratio 1.0 > 0.5 violates.
+        for i in range(4):
+            events.append(
+                {"name": "txn.begin", "ts": 11.0 + i, "txn": 10 + i, "cls": "rw"}
+            )
+            events.append(
+                {"name": "txn.abort", "ts": 12.0 + i, "txn": 10 + i, "cls": "rw"}
+            )
+        events.append({"name": "txn.begin", "ts": 25.0, "txn": 99, "cls": "rw"})
+        _ingest(engine, events)
+        state = engine.report()["objectives"]["abort_rate"]
+        assert state["windows"] == 1  # only the window that met min_denominator
+        assert len(engine.breaches) == 1
+
+    def test_percentile_objective_tracks_latency_pairing(self):
+        objective = PercentileObjective(
+            "ro_p99", "latency.ro", 0.99, ceiling=5.0, min_count=2
+        )
+        engine = SLOEngine([objective], window=10.0)
+        _ingest(
+            engine,
+            _txn_events([(0.5, 1.0), (1.0, 9.0)]) + [{"name": "noop", "ts": 15.0}],
+        )
+        # p99 of {0.5, 8.0} = 8.0 > 5.0 -> breach.
+        assert len(engine.breaches) == 1
+        assert engine.breaches[0].value == pytest.approx(8.0)
+
+    def test_expected_breaches_do_not_fail_ok(self):
+        objective = MaxObjective("lag", "replica.lag", ceiling=2.0, expected=True)
+        engine = SLOEngine([objective], window=10.0)
+        _ingest(
+            engine,
+            [
+                {"name": "replica.lag", "ts": 1.0, "lag": 9},
+                {"name": "noop", "ts": 15.0},
+            ],
+        )
+        assert len(engine.breaches) == 1
+        assert engine.expected_breaches and not engine.unexpected_breaches
+        assert engine.ok
+        assert engine.report()["ok"] is True
+
+    def test_duplicate_objective_names_rejected(self):
+        with pytest.raises(ValueError):
+            SLOEngine(
+                [ZeroObjective("a", "x"), ZeroObjective("a", "y")], window=1.0
+            )
+
+    def test_profiles_construct(self):
+        for objectives in (
+            default_objectives(),
+            overload_objectives(capacity=4, ro_p99_ceiling=10.0),
+            replication_objectives(max_staleness=8, writers=4),
+            faults_objectives(),
+            bench_objectives(ro_never_blocks=True),
+            bench_objectives(ro_never_blocks=False),
+        ):
+            names = [o.name for o in objectives]
+            assert len(set(names)) == len(names)
+            SLOEngine(objectives, window=5.0)
+
+    def test_bench_profile_blocking_expectation_follows_protocol_family(self):
+        hard = {o.name: o.expected for o in bench_objectives(ro_never_blocks=True)}
+        soft = {o.name: o.expected for o in bench_objectives(ro_never_blocks=False)}
+        assert hard["ro_blocking"] is False
+        assert soft["ro_blocking"] is True
+
+
+class TestEngineStream:
+    def test_live_export_and_replay_agree(self):
+        """The exporter path and the ingest path are the same computation."""
+        events = _txn_events([(1.0, 3.0), (11.0, 12.0), (21.0, 29.0)]) + [
+            {"name": "vc.advance", "ts": 22.0, "lag": 3},
+            {"name": "noop", "ts": 45.0},
+        ]
+        live = SLOEngine(default_objectives(), window=10.0)
+        tracer = Tracer(exporters=[live], clock=lambda: 0.0)
+        for event in events:
+            fields = {k: v for k, v in event.items() if k not in ("name", "ts")}
+            live._process(event["name"], event["ts"], fields, None)
+        live.finish()
+        replay = _ingest(SLOEngine(default_objectives(), window=10.0), events)
+        assert live.report() == replay.report()
+
+    def test_ts_regression_restarts_window_clock(self):
+        """A campaign's next drill restarts virtual time at 0 mid-stream."""
+        objective = MaxObjective("lag", "vc.lag", ceiling=100.0)
+        engine = SLOEngine([objective], window=10.0)
+        events = [
+            {"name": "txn.begin", "ts": 95.0, "txn": 1, "cls": "ro"},
+            {"name": "vc.register", "ts": 99.0, "lag": 1},
+            # clock restarts: the dangling begin above must not pair with
+            # a commit from the new run
+            {"name": "vc.register", "ts": 2.0, "lag": 2},
+            {"name": "txn.commit", "ts": 3.0, "txn": 1, "cls": "ro"},
+            {"name": "noop", "ts": 25.0},
+        ]
+        latency = PercentileObjective(
+            "ro_p99", "latency.ro", 0.99, ceiling=1000.0, min_count=1
+        )
+        engine = SLOEngine([objective, latency], window=10.0)
+        _ingest(engine, events)
+        report = engine.report()
+        # No latency sample: the cross-run pair was dropped at the seam.
+        assert report["objectives"]["ro_p99"]["windows"] == 0
+        assert report["objectives"]["lag"]["windows"] == 2
+
+    def test_gap_fast_forward_does_not_hang(self):
+        engine = SLOEngine([ZeroObjective("z", "blocked.ro")], window=0.001)
+        _ingest(
+            engine,
+            [
+                {"name": "txn.begin", "ts": 0.0, "txn": 1, "cls": "ro"},
+                {"name": "txn.begin", "ts": 1e9, "txn": 2, "cls": "ro"},
+            ],
+        )
+        assert engine.windows_closed < 10_000
+
+    def test_lock_wait_depth_tracks_live_blocked_set(self):
+        objective = MaxObjective("depth", "lock.wait_depth", ceiling=100.0)
+        engine = SLOEngine([objective], window=100.0)
+        _ingest(
+            engine,
+            [
+                {"name": "lock.block", "ts": 1.0, "txn": 1},
+                {"name": "lock.block", "ts": 2.0, "txn": 2},
+                {"name": "lock.grant", "ts": 3.0, "txn": 1, "waited": True},
+                {"name": "lock.block", "ts": 4.0, "txn": 3},
+            ],
+        )
+        assert engine.report()["objectives"]["depth"]["worst"] == 2.0
+
+    def test_finish_is_idempotent_and_freezes(self):
+        engine = SLOEngine([ZeroObjective("z", "blocked.ro")], window=10.0)
+        engine.ingest({"name": "txn.block", "ts": 1.0, "txn": 1, "cls": "ro"})
+        engine.finish()
+        closed = engine.windows_closed
+        engine.finish()
+        engine.ingest({"name": "txn.block", "ts": 2.0, "txn": 2, "cls": "ro"})
+        assert engine.windows_closed == closed
+        assert len(engine.breaches) == 1
+
+
+class TestDeterminism:
+    def _trace(self):
+        events = _txn_events(
+            [(i * 3.0, i * 3.0 + 1.0 + (i % 4)) for i in range(40)], cls="ro"
+        )
+        events += [
+            {"name": "vc.advance", "ts": 7.0 + 11 * i, "lag": (i * 5) % 9}
+            for i in range(12)
+        ]
+        events += [
+            {"name": "txn.block", "ts": 61.0, "txn": 900, "cls": "ro"},
+            {"name": "txn.block", "ts": 62.0, "txn": 901, "cls": "ro"},
+        ]
+        return sorted(events, key=lambda e: e["ts"])
+
+    def _engine(self, tmp_path, tag):
+        return SLOEngine(
+            default_objectives(),
+            window=10.0,
+            recorder=FlightRecorder(capacity=4096),
+            bundle_dir=str(tmp_path / tag),
+            bundle_prefix="t",
+        )
+
+    def test_replay_is_byte_identical(self, tmp_path):
+        """Same trace, two replays: equal reports AND byte-equal bundles."""
+        first = _ingest(self._engine(tmp_path, "a"), self._trace())
+        second = _ingest(self._engine(tmp_path, "b"), self._trace())
+        assert first.report() == second.report()
+        assert json.dumps(first.report(), sort_keys=True) == json.dumps(
+            second.report(), sort_keys=True
+        )
+        assert first.bundle_paths and second.bundle_paths
+        for path_a, path_b in zip(first.bundle_paths, second.bundle_paths):
+            with open(path_a, "rb") as fa, open(path_b, "rb") as fb:
+                assert fa.read() == fb.read()
+
+    def test_report_is_json_serializable(self, tmp_path):
+        engine = _ingest(self._engine(tmp_path, "c"), self._trace())
+        json.dumps(engine.report())  # no repr fallback needed
+
+
+class TestFlightRecorder:
+    def test_bounded_ring_with_drop_accounting(self):
+        recorder = FlightRecorder(capacity=3)
+        for i in range(5):
+            recorder.record({"name": "e", "ts": float(i)})
+        assert len(recorder.events()) == 3
+        assert recorder.dropped == 2
+
+    def test_standalone_exporter_form(self):
+        recorder = FlightRecorder(capacity=8)
+        tracer = Tracer(exporters=[recorder])
+        tracer.emit("txn.begin", txn=1)
+        assert recorder.events()[0]["name"] == "txn.begin"
+
+    def test_bundle_window_contains_injected_cause(self, tmp_path):
+        """The acceptance scenario in miniature: inject a lag spike behind a
+        fault event; the breach bundle's window must contain that cause."""
+        engine = SLOEngine(
+            replication_objectives(max_staleness=4, writers=2),
+            window=10.0,
+            recorder=FlightRecorder(capacity=4096),
+            bundle_dir=str(tmp_path),
+        )
+        events = [
+            {"name": "replica.lag", "ts": 1.0, "replica": 1, "lag": 0},
+            # the injected cause, one window before the breach verdict:
+            {"name": "fault.partition.hold", "ts": 11.0, "src": 0, "dst": 1},
+            {"name": "replica.lag", "ts": 12.0, "replica": 1, "lag": 9},
+            {"name": "replica.lag", "ts": 21.0, "replica": 1, "lag": 11},
+            {"name": "noop", "ts": 35.0},
+        ]
+        _ingest(engine, events)
+        assert engine.expected_breaches
+        assert len(engine.bundles) == 1
+        bundle = engine.bundles[0]
+        assert bundle["schema"] == "repro.slo.bundle/1"
+        assert "fault.partition.hold" in bundle["event_tally"]
+        # And the written JSONL round-trips: header + one line per event.
+        with open(engine.bundle_paths[0], "r", encoding="utf-8") as stream:
+            lines = stream.read().splitlines()
+        header = json.loads(lines[0])
+        assert header["breach"]["objective"] == "replica_lag"
+        assert len(lines) == 1 + bundle["events_in_window"]
+
+    def test_max_bundles_caps_recorder_work(self, tmp_path):
+        engine = SLOEngine(
+            [
+                MaxObjective(
+                    "lag", "vc.lag", ceiling=1.0, hysteresis=Hysteresis(1, 1)
+                )
+            ],
+            window=10.0,
+            recorder=FlightRecorder(capacity=64),
+            bundle_dir=str(tmp_path),
+            max_bundles=2,
+        )
+        events = []
+        ts = 0.0
+        for k in range(6):  # breach, clear, breach, clear, ...
+            events.append({"name": "vc.advance", "ts": ts + 1.0, "lag": 9})
+            events.append({"name": "vc.advance", "ts": ts + 11.0, "lag": 0})
+            ts += 20.0
+        events.append({"name": "noop", "ts": ts + 1.0})
+        _ingest(engine, events)
+        assert len(engine.breaches) > 2
+        assert len(engine.bundles) == 2
+        assert len(engine.bundle_paths) == 2
+
+
+class TestGauges:
+    def test_gc_sweep_publishes_version_footprint(self):
+        from repro.protocols.registry import make_scheduler
+
+        db = make_scheduler("vc-2pl")
+        for i in range(3):
+            txn = db.begin()
+            db.write(txn, "x", i).result()
+            db.commit(txn).result()
+        db.gc.collect()
+        registry = db.counters.registry
+        assert registry.gauge("gc.live_versions").value >= 1
+        assert registry.gauge("gc.max_chain").value >= 1
+
+    def test_gc_sweep_event_carries_the_gauges(self):
+        from repro.obs.exporters import RingBufferExporter
+        from repro.obs.instrument import attach_tracer
+        from repro.protocols.registry import make_scheduler
+
+        db = make_scheduler("vc-2pl")
+        ring = RingBufferExporter(capacity=1024)
+        handle = attach_tracer(db, Tracer(exporters=[ring]))
+        txn = db.begin()
+        db.write(txn, "x", 1).result()
+        db.commit(txn).result()
+        db.gc.collect()
+        handle.detach()
+        sweeps = [e for e in ring.events() if e.name == "gc.sweep"]
+        assert sweeps
+        assert sweeps[-1].fields["live_versions"] >= 1
+        assert sweeps[-1].fields["max_chain"] >= 1
+
+    def test_replica_staleness_gauge(self):
+        from repro.replica.node import Replica
+        from repro.storage.wal import LogRecord, RecordKind
+
+        replica = Replica(1)
+        records = [
+            LogRecord(kind=RecordKind.WRITE, txn_id=1, key="x", value=1),
+            LogRecord(kind=RecordKind.COMMIT, txn_id=1, tn=1),
+            LogRecord(kind=RecordKind.WRITE, txn_id=2, key="x", value=2),
+            LogRecord(kind=RecordKind.COMMIT, txn_id=2, tn=2),
+        ]
+        replica.receive_segment(0, 0, records[:2])
+        gauge = replica.counters.registry.gauge("replica.staleness")
+        assert gauge.value == replica.staleness_bound == 0
+        # A buffered (gapped) segment raises the frontier but not vtnc.
+        replica.receive_segment(0, 3, records[3:])
+        assert gauge.value == replica.staleness_bound == 1

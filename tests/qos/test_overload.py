@@ -67,3 +67,25 @@ class TestAcceptance:
             assert report.overload.ro_shed == 0, policy
             assert report.overload.rw_shed > 0, policy
             assert report.ok, (policy, report.violations)
+
+    def test_slo_watchdogs_ride_the_campaign(self):
+        report = run_overload_campaign(seed=3, duration=80.0)
+        assert report.slo is not None
+        assert report.slo["ok"], report.slo["breaches"]
+        objectives = report.slo["objectives"]
+        # The campaign's hard promises run as zero-objectives...
+        assert objectives["ro_blocking"]["kind"] == "zero"
+        assert objectives["ro_blocking"]["violations"] == 0
+        assert objectives["ro_shed"]["violations"] == 0
+        # ...and the per-window RO p99 watchdog actually saw latency samples.
+        assert objectives["ro_p99"]["windows"] > 0
+        # Determinism covers the verdict block too (engine-report equality
+        # is folded into the campaign's own replay check).
+        assert report.deterministic
+
+    def test_slo_can_be_disabled(self):
+        report = run_overload_campaign(
+            seed=3, duration=60.0, slo=False, verify_determinism=False
+        )
+        assert report.slo is None
+        assert report.ok, report.violations

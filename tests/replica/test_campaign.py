@@ -31,6 +31,57 @@ class TestReplicationCampaign:
         assert data["rw_commits"] == report.phase.rw_commits
         assert len(data["final_vtncs"]) == report.n_replicas - 1  # one promoted
 
+    def test_slo_staleness_verdict_and_expected_lag_breach(self):
+        report = run_replication_campaign(seed=0, duration=150.0)
+        assert report.slo is not None
+        assert report.slo["ok"], report.slo["breaches"]
+        objectives = report.slo["objectives"]
+        # The staleness-bound SLO held online, window by window.
+        assert objectives["ro_staleness"]["violations"] == 0
+        assert objectives["ro_staleness"]["windows"] > 0
+        # The injected partitions spike primary-measured replica lag: an
+        # *expected* breach — reported, flight-recorded, not failing.
+        lag_breaches = [
+            b for b in report.slo["breaches"] if b["objective"] == "replica_lag"
+        ]
+        assert lag_breaches and all(b["expected"] for b in lag_breaches)
+        assert report.deterministic  # verdict equal under seeded replay
+
+    def test_breach_bundle_contains_injected_cause(self):
+        """The flight recorder's bundle window must hold the fault events
+        that caused the expected replica-lag breach."""
+        from repro.obs.slo import FlightRecorder, SLOEngine, replication_objectives
+        from repro.replica.campaign import REPLICATION_SPEC, _run_phase
+
+        engine = SLOEngine(
+            replication_objectives(max_staleness=8, writers=4),
+            window=150.0 / 16.0,
+            recorder=FlightRecorder(capacity=16_384),
+        )
+        phase = _run_phase(
+            0,
+            duration=150.0,
+            n_replicas=3,
+            writers=4,
+            readers=6,
+            spec=REPLICATION_SPEC,
+            max_staleness=8,
+            promote_at=None,
+            engine=engine,
+        )
+        assert phase.rw_commits > 0
+        engine.finish()
+        assert engine.expected_breaches
+        assert engine.bundles
+        bundle = engine.bundles[0]
+        assert any(
+            name.startswith("fault.") for name in bundle["event_tally"]
+        ), bundle["event_tally"]
+        # The breach window itself sits inside the bundle's slice.
+        breach = bundle["breach"]
+        assert bundle["window"][0] <= breach["window"][0]
+        assert bundle["window"][1] == breach["window"][1]
+
 
 class TestReplicaScalingBench:
     def test_ro_scales_rw_flat(self):

@@ -47,6 +47,29 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "0 failed" in out
 
+    def test_drill_with_slo_watchdogs(self, capsys):
+        args = [
+            "drill", "--seeds", "1", "--duration", "100",
+            "--protocol", "dvc", "--slo",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "slo=ok" in out
+        assert "0 failed" in out
+
+    def test_watch_replays_a_drill_trace(self, tmp_path, capsys):
+        trace = tmp_path / "drill.jsonl"
+        args = [
+            "drill", "--seeds", "1", "--duration", "100",
+            "--protocol", "dvc", "--trace", str(trace),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(["watch", str(trace), "--profile", "faults"]) == 0
+        assert "slo verdict: ok" in capsys.readouterr().out
+
     def test_unknown_command(self, capsys):
         assert main(["frobnicate"]) == 2
-        assert "drill" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "drill" in out
+        assert "watch" in out

@@ -139,3 +139,66 @@ def test_null_attach_leaves_hot_path_untouched():
     assert db.locks.tracer is NULL_TRACER
     assert NULL_TRACER.enabled is False  # every emit site guards on this
     handle.detach()
+
+
+def test_null_pipeline_is_free():
+    """An exporter-less ObsPipeline must not create a real tracer at all."""
+    from repro.obs.pipeline import ObsPipeline
+
+    pipeline = ObsPipeline()
+    assert pipeline.tracer is NULL_TRACER
+    assert not pipeline.enabled
+    pipeline.close()
+
+
+SLO_LIMIT = 1.25  # engine+recorder vs plain JSONL export, emit-heavy loop
+
+
+def _emit_loop(tracer) -> None:
+    """An emit-heavy loop through an enabled tracer: paired txn events plus
+    a lag sample per iteration — the shape the SLO engine works hardest on."""
+    for i in range(N_TXNS):
+        tracer.emit("txn.begin", txn=i, cls="rw")
+        tracer.emit("vc.register", number=i, lag=i % 7)
+        tracer.emit("txn.commit", txn=i, cls="rw")
+
+
+def test_slo_engine_overhead_within_budget():
+    """Watchdogs (engine + flight recorder) may cost at most ~25% more than
+    the cheapest useful enabled configuration (JSONL to a string buffer) on
+    an emit-heavy loop.  Keeping the engine within a constant factor of the
+    serialization floor is what makes 'leave the watchdogs on for the whole
+    campaign' a defensible default."""
+    import io
+
+    from repro.obs.exporters import JsonlExporter
+    from repro.obs.slo import FlightRecorder, SLOEngine, default_objectives
+    from repro.obs.tracer import Tracer
+
+    ratio = float("inf")
+    for _ in range(ATTEMPTS):
+        jsonl_best = float("inf")
+        slo_best = float("inf")
+        for _ in range(REPEATS):
+            tracer = Tracer(exporters=[JsonlExporter(io.StringIO())])
+            t0 = time.perf_counter()
+            _emit_loop(tracer)
+            jsonl_best = min(jsonl_best, time.perf_counter() - t0)
+
+            engine = SLOEngine(
+                default_objectives(),
+                window=25.0,
+                recorder=FlightRecorder(capacity=8192),
+            )
+            tracer = Tracer(exporters=[engine])
+            t0 = time.perf_counter()
+            _emit_loop(tracer)
+            engine.finish()
+            slo_best = min(slo_best, time.perf_counter() - t0)
+        ratio = slo_best / jsonl_best
+        if ratio < SLO_LIMIT:
+            break
+    assert ratio < SLO_LIMIT, (
+        f"SLO engine costs {ratio:.2f}x the JSONL exporter on an emit-heavy "
+        f"loop (limit {SLO_LIMIT:.2f}x)"
+    )
