@@ -21,7 +21,10 @@ Commands:
   replication`` runs the replication drill — WAL-shipped replicas under
   lossy/partitioned shipping with a mid-run primary fail-over, checking
   snapshot consistency, monotone watermarks, and convergence (see
-  ``docs/replication.md``);
+  ``docs/replication.md``); ``drill --campaign memory`` runs the memory
+  campaign — bounded version GC under snapshot leases, watermark-driven
+  lease revocation, and ``SnapshotTooOld`` retry loops (see
+  ``docs/gc.md``);
 * ``bench [--quick ...]`` — seeded benchmark suites emitting versioned
   ``BENCH_<rev>.json`` artifacts (throughput, latency percentiles, abort
   rates, critical-path phase shares, plus ``qos`` overload and ``replica``

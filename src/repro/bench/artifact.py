@@ -280,6 +280,99 @@ def bench_replica(seed: int) -> dict[str, Any]:
     return block
 
 
+def _gc_scenario(
+    *, bounded: bool, pinned: bool, rounds: int = 400, n_keys: int = 8,
+    sweep_every: int = 10, pin_at: int = 20,
+) -> dict[str, Any]:
+    """One deterministic write-hammer run under one collector configuration.
+
+    ``rounds`` committed writers round-robin over ``n_keys`` chains with a
+    periodic sweep; with ``pinned`` a read-only transaction registers at
+    round ``pin_at`` and never leaves — the HTAP long scan.  Reports the
+    peak and final *post-sweep* footprints plus the sweep-cost counters,
+    so ranged-vs-legacy and pinned-vs-unpinned separate cleanly.
+    """
+    from repro.core.transaction import Transaction, TxnClass
+    from repro.core.version_control import VersionControl
+    from repro.storage.gc import GarbageCollector
+    from repro.storage.mvstore import MVStore
+
+    store = MVStore()
+    vc = VersionControl()
+    gc = GarbageCollector(store, vc, bounded=bounded)
+    peak = 0
+    for round_no in range(1, rounds + 1):
+        txn = Transaction()
+        vc.vc_register(txn)
+        store.install(f"k{round_no % n_keys}", txn.tn, round_no)
+        vc.vc_complete(txn)
+        if pinned and round_no == pin_at:
+            scan = Transaction(TxnClass.READ_ONLY)
+            scan.sn = vc.vc_start()
+            gc.registry.register(scan)
+        if round_no % sweep_every == 0:
+            gc.collect()
+            live, _ = store.chain_stats()
+            if live > peak:
+                peak = live
+    gc.collect()
+    return {
+        "peak_live": peak,
+        "final_live": store.chain_stats()[0],
+        "discarded": gc.total_discarded,
+        "interior": gc.interior_discarded,
+        "scan_per_reclaimed": (
+            round(gc.scan_cost_per_reclaimed(), 6) if bounded else None
+        ),
+    }
+
+
+def bench_gc(seed: int) -> dict[str, Any]:
+    """Bounded-GC ablation → the artifact's ``gc`` block.
+
+    Four deterministic configurations: {ranged, legacy} x {pinned long
+    scan, no pin}.  The headline is ``pinned_ratio`` — peak footprint of
+    the legacy horizon collector over the range-tracked one under a pinned
+    scan; legacy grows with run length while ranged stays flat, which is
+    the whole point of the bounded collector.  Top-level like ``qos`` so
+    the regression comparator ignores it and older baselines stay
+    comparable; the ``--slo`` CI gate checks its ``ok``.
+    """
+    del seed  # fully deterministic: no randomness needed
+    ranged_pin = _gc_scenario(bounded=True, pinned=True)
+    ranged_nopin = _gc_scenario(bounded=True, pinned=False)
+    legacy_pin = _gc_scenario(bounded=False, pinned=True)
+    legacy_nopin = _gc_scenario(bounded=False, pinned=False)
+    ratio = (
+        legacy_pin["peak_live"] / ranged_pin["peak_live"]
+        if ranged_pin["peak_live"]
+        else 0.0
+    )
+    violations: list[str] = []
+    # The bound: one pin retains at most one extra version per chain, so a
+    # pinned ranged run may exceed the unpinned one by n_keys, not by O(rounds).
+    if ranged_pin["peak_live"] > ranged_nopin["peak_live"] + 8:
+        violations.append(
+            f"ranged peak grew with the pin: {ranged_pin['peak_live']} vs "
+            f"{ranged_nopin['peak_live']} + 8 chains"
+        )
+    if legacy_pin["peak_live"] <= ranged_pin["peak_live"]:
+        violations.append(
+            "legacy collector not worse under a pin: ablation inverted"
+        )
+    if not ranged_pin["interior"]:
+        violations.append("no interior reclamation under a pinned scan")
+    return {
+        "ranged_pinned": ranged_pin,
+        "ranged_unpinned": ranged_nopin,
+        "legacy_pinned": legacy_pin,
+        "legacy_unpinned": legacy_nopin,
+        "pinned_ratio": round(ratio, 6),
+        "violations": violations,
+        "ok": not violations,
+    }
+
+
 def run_suite(
     suite: Suite, seed: int = 0, protocols: tuple[str, ...] | None = None
 ) -> dict[str, Any]:
@@ -305,6 +398,7 @@ def run_suite(
         artifact["protocols"][protocol] = entry
     artifact["qos"] = bench_qos(seed)
     artifact["replica"] = bench_replica(seed)
+    artifact["gc"] = bench_gc(seed)
     qos_slo = artifact["qos"].get("slo")
     artifact["slo"] = {
         "ok": all(block["ok"] for block in protocol_slo.values())
@@ -450,6 +544,18 @@ def render_artifact(artifact: dict[str, Any]) -> str:
         lines.append(
             f"replica [{verdict}]: ro_speedup={replica.get('ro_speedup', 0.0):.2f}x "
             f"({span} replicas) rw_ratio={replica.get('rw_ratio', 0.0):.2f}x"
+        )
+    gc_block = artifact.get("gc")
+    if gc_block:
+        verdict = "ok" if gc_block.get("ok") else "FAIL"
+        ranged = gc_block.get("ranged_pinned", {})
+        legacy = gc_block.get("legacy_pinned", {})
+        lines.append(
+            f"gc [{verdict}]: pinned peak ranged={ranged.get('peak_live', 0)} "
+            f"vs legacy={legacy.get('peak_live', 0)} "
+            f"({gc_block.get('pinned_ratio', 0.0):.1f}x), "
+            f"interior={ranged.get('interior', 0)}, "
+            f"scan/reclaim={ranged.get('scan_per_reclaimed')}"
         )
     return "\n".join(lines)
 
@@ -613,5 +719,10 @@ def main(argv: list[str]) -> int:
 
     if slo_gate and not artifact.get("slo", {}).get("ok", True):
         print("\nSLO BREACH: the run's watchdogs reported an unexpected breach")
+        return 1
+    if slo_gate and not artifact.get("gc", {}).get("ok", True):
+        print("\nGC REGRESSION: the bounded-GC ablation block failed")
+        for message in artifact.get("gc", {}).get("violations", []):
+            print(f"  {message}")
         return 1
     return 0

@@ -22,11 +22,11 @@ from __future__ import annotations
 
 from typing import Any, Hashable
 
-from repro.core.futures import OpFuture, resolved
+from repro.core.futures import OpFuture, failed, resolved
 from repro.core.interface import Scheduler
 from repro.core.transaction import Transaction
 from repro.core.version_control import VersionControl
-from repro.errors import AbortReason, ProtocolError
+from repro.errors import AbortReason, ProtocolError, SnapshotTooOld
 from repro.storage.gc import GarbageCollector, ReadOnlyRegistry
 from repro.storage.mvstore import MVStore
 
@@ -122,8 +122,23 @@ class VersionControlledScheduler(Scheduler):
         Every version numbered <= vtnc is committed (Transaction Visibility
         Property), and sn(T) <= vtnc, so the lookup cannot hit a pending
         version and cannot wait.
+
+        Lease discipline (docs/gc.md): the snapshot lease is checked and
+        renewed *before* the store is touched.  A revoked lease means GC may
+        already have reclaimed the version this snapshot needs, so the read
+        fails with retryable SnapshotTooOld and the transaction is aborted —
+        degrade, never a wrong read.
         """
         assert txn.sn is not None
+        lease = self.ro_registry.lease_of(txn)
+        if lease is not None:
+            if lease.revoked:
+                error = SnapshotTooOld(
+                    txn.txn_id, sn=lease.sn, cause=lease.revoke_cause or "revoked"
+                )
+                self.abort(txn, AbortReason.SNAPSHOT_TOO_OLD)
+                return failed(error, label=f"r{txn.txn_id}[{key}] snapshot-too-old")
+            self.ro_registry.renew(txn)
         version = self.store.read_snapshot(key, txn.sn)
         txn.record_read(key, version.tn)
         self.recorder.record_read(txn, key, version.tn)

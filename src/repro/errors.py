@@ -10,7 +10,8 @@ string matching.  The taxonomy mirrors the failure modes the paper discusses:
 * garbage-collected versions (paper Section 6),
 * protocol misuse by client code,
 * quality-of-service outcomes (deadline expiry, admission-control shedding,
-  infrastructure unavailability) from :mod:`repro.qos`.
+  infrastructure unavailability, snapshot-lease revocation under memory
+  pressure) from :mod:`repro.qos`.
 
 The QoS layer additionally needs to *classify* failures: a deadlock victim
 should be retried, a corrupt log must never be.  The classification lives
@@ -48,6 +49,11 @@ class AbortReason(enum.Enum):
     SITE_UNAVAILABLE = "site_unavailable"
     #: The transaction's deadline passed while it was blocked or in flight.
     DEADLINE_EXCEEDED = "deadline_exceeded"
+    #: A read-only transaction's snapshot lease was revoked (memory
+    #: pressure, or the lease's virtual-time TTL passed without renewal)
+    #: and the versions its snapshot needs may since have been reclaimed.
+    #: The session must restart on a fresh snapshot — retryable by design.
+    SNAPSHOT_TOO_OLD = "snapshot_too_old"
 
 
 #: Abort reasons worth retrying: transient contention or transient
@@ -62,6 +68,19 @@ RETRYABLE_REASONS = frozenset(
         AbortReason.COORDINATOR_ABORT,
         AbortReason.PREPARE_TIMEOUT,
         AbortReason.SITE_UNAVAILABLE,
+        AbortReason.SNAPSHOT_TOO_OLD,
+    }
+)
+
+#: Abort reasons a retry cannot fix: the user asked for the abort, or the
+#: transaction's time budget is already spent.  Kept explicit (not derived
+#: as the complement) so adding an AbortReason without classifying it is a
+#: loud error: the partition invariants below fail at import time, and the
+#: regression test in ``tests/test_errors.py`` names the stray member.
+NONRETRYABLE_REASONS = frozenset(
+    {
+        AbortReason.USER_REQUESTED,
+        AbortReason.DEADLINE_EXCEEDED,
     }
 )
 
@@ -74,6 +93,33 @@ INFRASTRUCTURE_REASONS = frozenset(
         AbortReason.SITE_UNAVAILABLE,
     }
 )
+
+#: Abort reasons caused by data contention, resource pressure, or the
+#: client itself — the complement of :data:`INFRASTRUCTURE_REASONS`.
+#: ``SNAPSHOT_TOO_OLD`` lands here: a revoked lease is the *database*
+#: protecting its memory, not a site or network failure, so it must not
+#: trip circuit breakers.
+CONTENTION_REASONS = frozenset(
+    {
+        AbortReason.USER_REQUESTED,
+        AbortReason.TIMESTAMP_REJECTED,
+        AbortReason.DEADLOCK_VICTIM,
+        AbortReason.VALIDATION_FAILED,
+        AbortReason.WOUNDED,
+        AbortReason.COORDINATOR_ABORT,
+        AbortReason.DEADLINE_EXCEEDED,
+        AbortReason.SNAPSHOT_TOO_OLD,
+    }
+)
+
+# Classification audit: every AbortReason appears in exactly one of the
+# retryable/non-retryable lists and exactly one of the
+# infrastructure/contention lists.  A new reason that skips classification
+# breaks the import, not a retry loop at 3am.
+assert RETRYABLE_REASONS | NONRETRYABLE_REASONS == frozenset(AbortReason)
+assert not RETRYABLE_REASONS & NONRETRYABLE_REASONS
+assert INFRASTRUCTURE_REASONS | CONTENTION_REASONS == frozenset(AbortReason)
+assert not INFRASTRUCTURE_REASONS & CONTENTION_REASONS
 
 
 class ReproError(Exception):
@@ -142,6 +188,42 @@ class DeadlineExceeded(TransactionAborted):
         if not detail and deadline:
             detail = f"deadline {deadline} passed at {now}"
         super().__init__(txn_id, AbortReason.DEADLINE_EXCEEDED, detail)
+
+
+class SnapshotTooOld(TransactionAborted):
+    """A read-only transaction's snapshot lease was revoked.
+
+    Raised on the session's next read (never mid-read: past reads were all
+    of retained versions, so nothing it already saw can be wrong).  Two
+    causes, carried in ``cause``:
+
+    * ``"memory_pressure"`` — the :class:`~repro.qos.memory.\
+MemoryPressureController` revoked the oldest leases so garbage collection
+      could advance past a pinned snapshot;
+    * ``"lease_expired"`` — the lease's virtual-time TTL passed without a
+      renewal (every read renews; an idle session eventually loses its pin).
+
+    Always retryable (:data:`RETRYABLE_REASONS`): a fresh ``begin`` obtains
+    a new snapshot at the current ``vtnc`` and a new lease.  Classified as
+    contention, not infrastructure — revocation is the database shedding
+    memory load, and must not trip circuit breakers.
+    """
+
+    def __init__(
+        self,
+        txn_id: int,
+        sn: int | None = None,
+        cause: str = "memory_pressure",
+        detail: str = "",
+    ):
+        self.sn = sn
+        self.cause = cause
+        if not detail:
+            detail = (
+                f"snapshot lease at sn={sn} revoked ({cause}); "
+                "retry on a fresh snapshot"
+            )
+        super().__init__(txn_id, AbortReason.SNAPSHOT_TOO_OLD, detail)
 
 
 class VersionNotFound(ReproError):

@@ -274,13 +274,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--campaign",
-        choices=("faults", "overload", "replication"),
+        choices=("faults", "overload", "replication", "memory"),
         default="faults",
         help="faults: network faults + crashes over the distributed "
         "protocols; overload: QoS overload campaign (admission shedding, "
         "deadlines, read-only fast-path guarantee) — see repro.qos.overload; "
         "replication: WAL-shipped replica tier under lossy/partitioned "
-        "shipping with a primary fail-over — see repro.replica.campaign",
+        "shipping with a primary fail-over — see repro.replica.campaign; "
+        "memory: bounded-GC memory-pressure campaign (snapshot leases, "
+        "oldest-first revocation, SnapshotTooOld retries) — see "
+        "repro.qos.memory",
     )
     parser.add_argument(
         "--policy",
@@ -357,6 +360,8 @@ def main(argv: list[str] | None = None) -> int:
         return _overload_main(args)
     if args.campaign == "replication":
         return _replication_main(args)
+    if args.campaign == "memory":
+        return _memory_main(args)
 
     protocols = PROTOCOLS if args.protocol == "both" else (args.protocol,)
     spec = FaultSpec(
@@ -460,6 +465,49 @@ def _overload_main(args: argparse.Namespace) -> int:
         print(
             f"  replay: python -m repro drill --campaign overload "
             f"--seeds 1 --seed-base {report.seed} --policy {args.policy}",
+            file=sys.stderr,
+        )
+    return 1 if failed else 0
+
+
+def _memory_main(args: argparse.Namespace) -> int:
+    """``python -m repro drill --campaign memory`` — the bounded-GC drill."""
+    from repro.qos.memory import run_memory_campaign
+
+    print(
+        f"memory campaign: seeds={args.seeds} duration={args.duration}"
+    )
+    failed = []
+    for offset in range(args.seeds):
+        seed = args.seed_base + offset
+        report = run_memory_campaign(seed, duration=args.duration)
+        if not report.ok:
+            failed.append(report)
+        if not args.quiet:
+            verdict = "ok" if report.ok else "FAIL"
+            stats = report.stats
+            print(
+                f"  seed={seed:<4d} {verdict:4s} "
+                f"peak={stats.peak_live:<4d} (bound {report.live_bound}) "
+                f"revoked={len(stats.revocations):<3d} "
+                f"too_old={stats.too_old_total:<3d} "
+                f"scans={stats.scan_commits:<3d} "
+                f"ro={stats.ro_commits:<4d} rw={stats.rw_commits:<4d} "
+                f"shed={stats.rw_shed}"
+                + (
+                    f" slo={'ok' if report.slo['ok'] else 'BREACH'}"
+                    if report.slo is not None
+                    else ""
+                )
+            )
+    print(f"{args.seeds} campaigns, {len(failed)} failed")
+    for report in failed:
+        print(f"FAILED seed={report.seed}:", file=sys.stderr)
+        for violation in report.violations:
+            print(f"  violation: {violation}", file=sys.stderr)
+        print(
+            f"  replay: python -m repro drill --campaign memory "
+            f"--seeds 1 --seed-base {report.seed}",
             file=sys.stderr,
         )
     return 1 if failed else 0

@@ -25,6 +25,7 @@ from repro.obs.slo.objectives import (
     bench_objectives,
     default_objectives,
     faults_objectives,
+    memory_objectives,
     overload_objectives,
     replication_objectives,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "bench_objectives",
     "default_objectives",
     "faults_objectives",
+    "memory_objectives",
     "overload_objectives",
     "replication_objectives",
 ]

@@ -27,6 +27,8 @@ signal             derivation
 ``replica.lag``    the ``lag`` field of every ``replica.lag``
 ``lock.wait_depth``  live count of lock-blocked txns, sampled on every change
 ``gc.live_versions`` / ``gc.max_chain``  the gauges on every ``gc.sweep``
+``snapshot.revoked``  each ``snapshot.revoked`` (lease revocation under
+                   memory pressure or TTL expiry — expected under drills)
 =================  ==============================================================
 
 **Windows.**  Virtual time is chopped into tumbling windows of width
@@ -222,6 +224,8 @@ class SLOEngine:
             chain = fields.get("max_chain")
             if chain is not None:
                 self._signal("gc.max_chain", chain)
+        elif name == "snapshot.revoked":
+            self._signal("snapshot.revoked", 1.0)
         extra = self._extra.get(name)
         if extra is not None:
             value = fields.get(extra[0])

@@ -477,7 +477,53 @@ def bench_objectives(*, ro_never_blocks: bool) -> list[Objective]:
     ]
 
 
+def memory_objectives(*, live_versions_bound: float | None = None) -> list[Objective]:
+    """The memory campaign's online verdicts (``repro.qos.memory``).
+
+    ``gc_live_versions`` is the headline: the retained-version footprint
+    after every sweep must stay under the configured bound *regardless of
+    run length* — that is what range-tracked GC plus lease revocation buys.
+    ``snapshot_revoked`` is an expected-anomaly watchdog: revocations are
+    the degradation mechanism working as designed under a pinned long
+    scan, so they are reported (and trip the flight recorder) without
+    failing the run.  A breach of ``ro_blocking`` remains a hard failure —
+    degrading a reader means revoking its lease, never blocking it.
+    """
+    objectives: list[Objective] = [
+        ZeroObjective(
+            "ro_blocking", "blocked.ro",
+            description="read-only transactions must never block (Figure 2) "
+            "— memory pressure revokes leases, it never blocks readers",
+        ),
+        ZeroObjective(
+            "snapshot_revoked", "snapshot.revoked",
+            expected=True,
+            description="lease revocations (memory pressure / TTL expiry): "
+            "anticipated degradation, recorded not failed",
+        ),
+        MaxObjective(
+            "gc_max_chain", "gc.max_chain",
+            baseline=Ewma(alpha=0.3, warmup=4), rel_limit=3.0, min_count=1,
+            expected=True, hysteresis=Hysteresis(2, 2),
+            description="longest single version chain vs its own EWMA "
+            "baseline",
+        ),
+    ]
+    if live_versions_bound is not None:
+        objectives.insert(
+            1,
+            MaxObjective(
+                "gc_live_versions", "gc.live_versions",
+                ceiling=float(live_versions_bound), min_count=1,
+                description="retained versions after each sweep, bounded "
+                "independent of run length",
+            ),
+        )
+    return objectives
+
+
 PROFILES = {
     "default": lambda: default_objectives(),
     "faults": lambda: faults_objectives(),
+    "memory": lambda: memory_objectives(),
 }

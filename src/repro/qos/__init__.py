@@ -19,7 +19,10 @@ Pieces (each usable standalone; see ``docs/robustness.md``):
   ``txn.meta["qos.deadline"]``, enforced by the lock manager, wait lists,
   and the 2PC legs;
 * :func:`run_overload_campaign` — the seeded overload drill behind
-  ``python -m repro drill --campaign overload``.
+  ``python -m repro drill --campaign overload``;
+* :class:`MemoryPressureController` / :func:`run_memory_campaign` — the
+  watermark-driven lease-revocation loop over bounded GC and its seeded
+  drill, ``python -m repro drill --campaign memory`` (see ``docs/gc.md``).
 
 All decisions emit ``qos.*`` trace events through :mod:`repro.obs`.
 """
@@ -42,22 +45,32 @@ __all__ = [
     "BreakerBoard",
     "CircuitBreaker",
     "DEADLINE_KEY",
+    "MemoryPressureController",
     "POLICIES",
     "RetryBudget",
     "STALENESS_KEY",
     "check_deadline",
     "get_deadline",
     "remaining",
+    "run_memory_campaign",
     "run_overload_campaign",
     "set_deadline",
 ]
 
 
 def __getattr__(name):
-    # Lazy: overload.py imports bench/drill machinery; keep plain
-    # `import repro.qos` light for the scheduler hot path.
+    # Lazy: overload.py / memory.py import bench/drill machinery; keep
+    # plain `import repro.qos` light for the scheduler hot path.
     if name == "run_overload_campaign":
         from repro.qos.overload import run_overload_campaign
 
         return run_overload_campaign
+    if name == "run_memory_campaign":
+        from repro.qos.memory import run_memory_campaign
+
+        return run_memory_campaign
+    if name == "MemoryPressureController":
+        from repro.qos.memory import MemoryPressureController
+
+        return MemoryPressureController
     raise AttributeError(name)

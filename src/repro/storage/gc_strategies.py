@@ -69,9 +69,18 @@ class BudgetedCollector(GarbageCollector):
         self._cursor = 0
 
     def collect(self) -> int:
-        discarded, self._cursor = self._store.prune_some(
-            self.horizon(), self.budget, self._cursor
-        )
+        if self.bounded:
+            discarded, self._cursor = self._store.prune_some(
+                self.horizon(),
+                self.budget,
+                self._cursor,
+                pins=self.registry.active_sns(),
+                visible=self._vc.vtnc,
+            )
+        else:
+            discarded, self._cursor = self._store.prune_some(
+                self.horizon(), self.budget, self._cursor
+            )
         self.total_discarded += discarded
         self.passes += 1
         return discarded

@@ -123,11 +123,14 @@ class MVStore:
         return total, longest
 
     def prune(self, horizon: float) -> int:
-        """Garbage-collect: keep, per object, the newest version at or below
-        ``horizon`` plus everything younger.  Returns versions discarded.
+        """Horizon-only garbage collection: keep, per object, the newest
+        version at or below ``horizon`` plus everything younger.  Returns
+        versions discarded.
 
-        Callers must compute ``horizon`` per the paper's Section 6 rule; see
-        :class:`repro.storage.gc.GarbageCollector`.
+        This is the paper's literal Section 6 rule — correct but unbounded
+        under a pinned old snapshot (the whole suffix above the horizon
+        survives).  The bounded collector uses :meth:`prune_versions`; this
+        path remains for baselines and the legacy/bench comparison.
         """
         discarded = 0
         for obj in self._objects.values():
@@ -135,14 +138,49 @@ class MVStore:
         self.gc_discarded += discarded
         return discarded
 
-    def prune_some(self, horizon: float, max_objects: int, cursor: int = 0) -> tuple[int, int]:
+    def prune_versions(
+        self, visible: float, pins: list[float]
+    ) -> tuple[int, int, int]:
+        """Range-tracked garbage collection over every chain.
+
+        ``pins`` is the ascending list of live read-only snapshot numbers;
+        ``visible`` is ``vtnc``.  Each chain retains exactly the versions
+        some live (or future) snapshot reads — see
+        :meth:`~repro.storage.versioned_object.VersionedObject.prune_unreachable`.
+
+        Returns ``(discarded, interior, scanned)``: versions reclaimed,
+        the subset a horizon-only collector would have retained, and the
+        total versions examined (the sweep-cost counter the amortized-
+        reclamation accounting is built on).
+        """
+        discarded = 0
+        interior = 0
+        scanned = 0
+        for obj in self._objects.values():
+            scanned += len(obj)
+            d, i = obj.prune_unreachable(visible, pins)
+            discarded += d
+            interior += i
+        self.gc_discarded += discarded
+        return discarded, interior, scanned
+
+    def prune_some(
+        self,
+        horizon: float,
+        max_objects: int,
+        cursor: int = 0,
+        pins: list[float] | None = None,
+        visible: float | None = None,
+    ) -> tuple[int, int]:
         """Incremental collection: prune at most ``max_objects`` objects,
         resuming from ``cursor``.
 
-        Returns ``(discarded, next_cursor)``; ``next_cursor`` wraps to 0
-        after a full cycle.  Amortizes collection cost across many small
-        passes — the budgeted strategy of
-        :mod:`repro.storage.gc_strategies`.
+        With ``pins``/``visible`` given, each touched chain is compacted by
+        the range-tracking rule (:meth:`prune_versions`); otherwise by the
+        horizon-only rule.  Returns ``(discarded, next_cursor)``;
+        ``next_cursor`` wraps to 0 after a full cycle.  Amortizes
+        collection cost across many small passes — the budgeted strategy
+        of :mod:`repro.storage.gc_strategies`.
         """
         keys = list(self._objects)
         if not keys:
@@ -152,7 +190,11 @@ class MVStore:
         scanned = 0
         while scanned < min(max_objects, len(keys)):
             key = keys[(cursor + scanned) % len(keys)]
-            discarded += self._objects[key].prune_older_than(horizon)
+            obj = self._objects[key]
+            if pins is not None and visible is not None:
+                discarded += obj.prune_unreachable(visible, pins)[0]
+            else:
+                discarded += obj.prune_older_than(horizon)
             scanned += 1
         next_cursor = (cursor + scanned) % len(keys)
         self.gc_discarded += discarded

@@ -184,5 +184,64 @@ class VersionedObject:
         del self._versions[:idx]
         return discarded
 
+    def prune_unreachable(self, visible: float, pins: list[float]) -> tuple[int, int]:
+        """Range-tracked compaction: retain only versions some live reader
+        can actually see (Ben-David et al., arXiv 2108.02775).
+
+        A version ``v`` with successor ``v'`` on this chain is *needed* iff
+        some snapshot number in ``[v.tn, v'.tn)`` is live — then ``v`` is
+        exactly the version that snapshot reads.  The live snapshot numbers
+        are ``pins`` (ascending, the registered read-only start numbers)
+        plus ``visible`` (``vtnc`` — the snapshot every *future* read-only
+        transaction starts at).  Everything else at or below ``visible`` is
+        unreachable and reclaimed, including versions strictly *between*
+        two pinned snapshots — the interior reclamation a prefix-only
+        pruner cannot perform.  Versions above ``visible`` and pending
+        versions are always retained (their fate is not yet decided).
+
+        One merge walk over ``len(chain) + len(pins)`` entries; with the
+        collector charging the walk to the versions it reclaims, the
+        amortized cost per reclaimed version is O(1).
+
+        Returns ``(discarded, interior)`` where ``interior`` counts
+        reclaimed versions a horizon-only collector (``prune_older_than``
+        at ``min(pins + [visible])``) would have retained.
+        """
+        versions = self._versions
+        if len(versions) <= 1:
+            return 0, 0
+        horizon = visible
+        for pin in pins:
+            if pin < horizon:
+                horizon = pin
+                break  # pins are ascending: the first is the smallest
+        retained: list[Version] = []
+        discarded = 0
+        interior = 0
+        p = 0
+        n_pins = len(pins)
+        for idx, version in enumerate(versions):
+            if version.pending or version.tn > visible:
+                retained.append(version)
+                continue
+            next_tn = versions[idx + 1].tn if idx + 1 < len(versions) else None
+            # Advance past pins below this version's number; they pinned an
+            # older version (or nothing) and cannot need this one.
+            while p < n_pins and pins[p] < version.tn:
+                p += 1
+            needed = p < n_pins and (next_tn is None or pins[p] < next_tn)
+            # The visible snapshot itself pins the newest version <= visible.
+            if not needed and (next_tn is None or next_tn > visible):
+                needed = True
+            if needed:
+                retained.append(version)
+            else:
+                discarded += 1
+                if version.tn > horizon:
+                    interior += 1
+        if discarded:
+            self._versions = retained
+        return discarded, interior
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{self.key!r}: {self._versions!r}>"

@@ -19,6 +19,7 @@ from repro.obs.slo import (
     bench_objectives,
     default_objectives,
     faults_objectives,
+    memory_objectives,
     overload_objectives,
     replication_objectives,
 )
@@ -231,6 +232,8 @@ class TestObjectives:
             faults_objectives(),
             bench_objectives(ro_never_blocks=True),
             bench_objectives(ro_never_blocks=False),
+            memory_objectives(),
+            memory_objectives(live_versions_bound=64),
         ):
             names = [o.name for o in objectives]
             assert len(set(names)) == len(names)
@@ -241,6 +244,51 @@ class TestObjectives:
         soft = {o.name: o.expected for o in bench_objectives(ro_never_blocks=False)}
         assert hard["ro_blocking"] is False
         assert soft["ro_blocking"] is True
+
+
+class TestMemoryProfile:
+    def test_snapshot_revoked_is_an_expected_anomaly(self):
+        # Revocations under pressure are working-as-designed degradation:
+        # flight-recorded as breaches, but they never fail the verdict.
+        events = [
+            {"name": "snapshot.revoked", "ts": 1.0, "txn": 9, "sn": 3,
+             "cause": "memory_pressure"},
+            {"name": "noop", "ts": 25.0},
+        ]
+        engine = _ingest(SLOEngine(memory_objectives(), window=10.0), events)
+        assert [b.objective for b in engine.breaches] == ["snapshot_revoked"]
+        assert engine.breaches[0].expected
+        assert engine.unexpected_breaches == []
+        assert engine.report()["ok"]
+
+    def test_live_versions_ceiling_is_a_hard_objective(self):
+        events = [
+            {"name": "gc.sweep", "ts": 1.0, "live_versions": 70, "max_chain": 3,
+             "horizon": 0, "visible": 0, "pins": 0, "discarded": 0,
+             "interior": 0, "active_readers": 0},
+            {"name": "noop", "ts": 25.0},
+        ]
+        engine = _ingest(
+            SLOEngine(memory_objectives(live_versions_bound=64), window=10.0),
+            events,
+        )
+        breached = [b.objective for b in engine.unexpected_breaches]
+        assert "gc_live_versions" in breached
+        assert not engine.report()["ok"]
+
+    def test_live_versions_under_the_bound_is_clean(self):
+        events = [
+            {"name": "gc.sweep", "ts": 1.0, "live_versions": 40, "max_chain": 3,
+             "horizon": 0, "visible": 0, "pins": 0, "discarded": 0,
+             "interior": 0, "active_readers": 0},
+            {"name": "noop", "ts": 25.0},
+        ]
+        engine = _ingest(
+            SLOEngine(memory_objectives(live_versions_bound=64), window=10.0),
+            events,
+        )
+        assert engine.unexpected_breaches == []
+        assert engine.report()["ok"]
 
 
 class TestEngineStream:

@@ -88,3 +88,67 @@ class TestMaintenance:
         store = MVStore()
         store.install("x", 1, "a")
         assert store.dump() == {"x": [(0, None), (1, "a")]}
+
+
+class TestChainStatsUnderSweep:
+    """chain_stats stays coherent while sweeps interleave with installs.
+
+    The cooperative execution model serializes the actual calls, but the
+    budgeted collector interleaves *partial* sweeps (prune_some) with
+    installs — these pin down the gauge invariants the SLO signals rely on:
+    counts are never negative, always consistent with version_count, and
+    within one sweep cycle (no installs) the footprint is monotone
+    non-increasing.
+    """
+
+    def test_stats_consistent_across_interleaved_partial_sweeps(self):
+        store = MVStore()
+        keys = [f"k{i}" for i in range(5)]
+        tn = 0
+        cursor = 0
+        for round_no in range(30):
+            for key in keys:
+                tn += 1
+                store.install(key, tn, tn)
+            visible = tn
+            # A partial sweep touches 2 objects, then more installs land.
+            discarded, cursor = store.prune_some(
+                visible, 2, cursor, pins=[], visible=visible
+            )
+            live, longest = store.chain_stats()
+            assert discarded >= 0
+            assert live >= len(store) >= 1
+            assert longest >= 1
+            assert live == store.version_count()
+
+    def test_footprint_monotone_within_a_quiescent_sweep_cycle(self):
+        store = MVStore()
+        keys = [f"k{i}" for i in range(6)]
+        tn = 0
+        for _ in range(10):
+            for key in keys:
+                tn += 1
+                store.install(key, tn, tn)
+        visible = tn
+        cursor = 0
+        live_before, longest_before = store.chain_stats()
+        for _ in range(len(keys)):  # one full cycle, one object at a time
+            _, cursor = store.prune_some(visible, 1, cursor, pins=[], visible=visible)
+            live, longest = store.chain_stats()
+            assert live <= live_before
+            assert longest <= longest_before
+            live_before, longest_before = live, longest
+        assert cursor == 0  # wrapped exactly once
+        # Fully swept: one retained version per chain.
+        assert store.chain_stats() == (len(keys), 1)
+
+    def test_sweep_never_drops_below_one_version_per_chain(self):
+        store = MVStore()
+        for tn in (1, 2, 3):
+            store.install("x", tn, tn)
+        store.prune_versions(3, [])
+        live, longest = store.chain_stats()
+        assert (live, longest) == (1, 1)
+        # Repeat sweeps are idempotent — no underflow, no negative counts.
+        assert store.prune_versions(3, []) == (0, 0, 1)
+        assert store.chain_stats() == (1, 1)

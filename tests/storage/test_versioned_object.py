@@ -209,3 +209,81 @@ class TestPruneNeverTouchesPending:
         discarded = obj.prune_older_than(2)
         assert discarded == 2  # versions 0 and 1 go; 2 serves the horizon
         assert [v.tn for v in obj.versions()] == [2, 3]
+
+
+class TestPruneUnreachable:
+    def tns(self, obj):
+        return [v.tn for v in obj.versions()]
+
+    def test_no_pins_keeps_only_the_visible_version(self):
+        obj = chain(1, 2, 3, 4)
+        discarded, interior = obj.prune_unreachable(4, [])
+        assert discarded == 4
+        assert interior == 0  # horizon == visible: nothing is interior
+        assert self.tns(obj) == [4]
+
+    def test_each_pin_retains_exactly_its_version(self):
+        obj = chain(2, 4, 6, 8)
+        # sn=3 reads v2, sn=5 reads v4; visible=8 pins v8; v0 and v6 go.
+        discarded, interior = obj.prune_unreachable(8, [3, 5])
+        assert self.tns(obj) == [2, 4, 8]
+        assert discarded == 2
+        # v6 sits above the horizon (3): interior reclamation.
+        assert interior == 1
+
+    def test_two_pins_sharing_a_version_retain_it_once(self):
+        obj = chain(2, 9)
+        # Both sn=3 and sn=7 resolve to v2.
+        obj.prune_unreachable(9, [3, 7])
+        assert self.tns(obj) == [2, 9]
+
+    def test_pin_equal_to_version_tn_retains_it(self):
+        obj = chain(3, 5)
+        obj.prune_unreachable(5, [3])
+        assert self.tns(obj) == [3, 5]
+
+    def test_versions_above_visible_always_survive(self):
+        obj = chain(1, 5, 9)
+        obj.prune_unreachable(5, [])
+        assert self.tns(obj) == [5, 9]
+
+    def test_pending_versions_always_survive(self):
+        obj = VersionedObject("x", initial_value=0)
+        obj.install(1, "a")
+        obj.install(2, "b", pending=True)
+        obj.install(3, "c")
+        obj.prune_unreachable(3, [])
+        tns = self.tns(obj)
+        assert 2 in tns and 3 in tns
+        assert obj.find(2).pending
+
+    def test_interior_counts_only_above_the_horizon(self):
+        obj = chain(1, 2, 3, 4, 5)
+        # Pin at sn=2: horizon 2.  Reclaimed: v0, v1 (prefix — a horizon
+        # pruner also drops them) and v3, v4 (interior).
+        discarded, interior = obj.prune_unreachable(5, [2])
+        assert self.tns(obj) == [2, 5]
+        assert discarded == 4
+        assert interior == 2
+
+    def test_single_version_chain_is_untouched(self):
+        obj = VersionedObject("x", initial_value=0)
+        assert obj.prune_unreachable(10, []) == (0, 0)
+        assert self.tns(obj) == [0]
+
+    @given(
+        tns=st.lists(st.integers(min_value=1, max_value=30), unique=True, min_size=1),
+        pins=st.lists(st.integers(min_value=0, max_value=30), unique=True),
+        visible_gap=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_every_live_snapshot_still_reads_the_same_version(
+        self, tns, pins, visible_gap
+    ):
+        obj = chain(*sorted(tns))
+        visible = max(tns) + visible_gap
+        pins = sorted(p for p in pins if p <= visible)
+        expected = {sn: obj.version_leq(sn).tn for sn in pins + [visible]}
+        obj.prune_unreachable(visible, pins)
+        for sn, tn in expected.items():
+            assert obj.version_leq(sn).tn == tn

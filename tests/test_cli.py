@@ -57,6 +57,17 @@ class TestCLI:
         assert "slo=ok" in out
         assert "0 failed" in out
 
+    def test_drill_memory_campaign(self, capsys):
+        args = [
+            "drill", "--campaign", "memory",
+            "--seeds", "1", "--duration", "200",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "memory campaign" in out
+        assert "slo=ok" in out
+        assert "0 failed" in out
+
     def test_watch_replays_a_drill_trace(self, tmp_path, capsys):
         trace = tmp_path / "drill.jsonl"
         args = [

@@ -3,15 +3,22 @@
 import pytest
 
 from repro.errors import (
+    CONTENTION_REASONS,
+    INFRASTRUCTURE_REASONS,
+    NONRETRYABLE_REASONS,
+    RETRYABLE_REASONS,
     AbortReason,
     DeadlockError,
     FutureNotReady,
     InvariantViolation,
     ProtocolError,
     ReproError,
+    SnapshotTooOld,
     TransactionAborted,
     ValidationError,
     VersionNotFound,
+    is_infrastructure,
+    is_retryable,
 )
 
 
@@ -73,3 +80,47 @@ class TestSpecificErrors:
     def test_abort_reason_values_unique(self):
         values = [reason.value for reason in AbortReason]
         assert len(values) == len(set(values))
+
+    def test_snapshot_too_old_carries_sn_and_cause(self):
+        err = SnapshotTooOld(7, sn=3, cause="lease_expired")
+        assert err.sn == 3
+        assert err.cause == "lease_expired"
+        assert err.reason is AbortReason.SNAPSHOT_TOO_OLD
+        assert "sn=3" in str(err)
+        assert "lease_expired" in str(err)
+
+    def test_snapshot_too_old_defaults_to_memory_pressure(self):
+        err = SnapshotTooOld(7, sn=3)
+        assert err.cause == "memory_pressure"
+        # One except-clause catches it alongside every protocol abort.
+        assert isinstance(err, TransactionAborted)
+
+    def test_snapshot_too_old_is_retryable_contention(self):
+        err = SnapshotTooOld(7, sn=3)
+        assert is_retryable(err)
+        # The database shedding memory load must not trip circuit breakers.
+        assert not is_infrastructure(err)
+
+
+class TestClassificationPartitions:
+    """Every AbortReason lands in exactly one side of each partition.
+
+    The import-time asserts in repro.errors enforce the same thing, but
+    a failed module import points nowhere; these name the stray member.
+    """
+
+    def test_retryable_partition_is_exhaustive_and_disjoint(self):
+        unclassified = frozenset(AbortReason) - RETRYABLE_REASONS - NONRETRYABLE_REASONS
+        assert not unclassified, f"unclassified retryability: {sorted(r.value for r in unclassified)}"
+        both = RETRYABLE_REASONS & NONRETRYABLE_REASONS
+        assert not both, f"doubly classified: {sorted(r.value for r in both)}"
+
+    def test_cause_partition_is_exhaustive_and_disjoint(self):
+        unclassified = frozenset(AbortReason) - INFRASTRUCTURE_REASONS - CONTENTION_REASONS
+        assert not unclassified, f"unclassified cause: {sorted(r.value for r in unclassified)}"
+        both = INFRASTRUCTURE_REASONS & CONTENTION_REASONS
+        assert not both, f"doubly classified: {sorted(r.value for r in both)}"
+
+    def test_snapshot_too_old_membership(self):
+        assert AbortReason.SNAPSHOT_TOO_OLD in RETRYABLE_REASONS
+        assert AbortReason.SNAPSHOT_TOO_OLD in CONTENTION_REASONS

@@ -24,6 +24,7 @@ EXPECTED_SNIPPETS = {
     "order_entry_demo.py": "invariant violations",
     "debugging_tools.py": "digraph MVSG",
     "replica_reads.py": "promoted replica",
+    "long_scan.py": "SnapshotTooOld",
 }
 
 
