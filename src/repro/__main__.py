@@ -33,7 +33,11 @@ Commands:
 * ``watch <file.jsonl>`` — replay a recorded trace through the streaming
   SLO watchdogs: tumbling-window objectives, EWMA anomaly baselines,
   hysteresis, and breach-triggered flight-recorder bundles; exits 3 on an
-  unexpected breach (see ``docs/slo.md``).
+  unexpected breach (see ``docs/slo.md``);
+* ``explain <file.jsonl> <txn>`` — per-transaction forensics from a
+  trace: operations, reads-from/anti-dependency/version-order edges in
+  the serialization graph, lock waits and deadlocks, the typed abort
+  reason, and the critical path (see ``docs/witness.md``).
 """
 
 from __future__ import annotations
@@ -121,6 +125,12 @@ def cmd_watch(args: list[str]) -> int:
     return watch_main(args)
 
 
+def cmd_explain(args: list[str]) -> int:
+    from repro.obs.witness.explain import main as explain_main
+
+    return explain_main(args)
+
+
 def cmd_selfcheck(protocol: str = "vc-2pl") -> int:
     from repro.bench.runner import SimConfig, run_simulation
     from repro.protocols.registry import make_scheduler
@@ -162,9 +172,11 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_bench(rest)
     if command == "watch":
         return cmd_watch(rest)
+    if command == "explain":
+        return cmd_explain(rest)
     print(
         f"unknown command {command!r}; "
-        "try: list, demo, report, selfcheck, trace, drill, bench, watch"
+        "try: list, demo, report, selfcheck, trace, drill, bench, watch, explain"
     )
     return 2
 

@@ -61,6 +61,9 @@ class DrillReport:
     #: Online watchdog verdict block (``SLOEngine.report()``); None unless
     #: the drill ran with ``slo=True``.
     slo: dict[str, Any] | None = None
+    #: Streaming serializability verdict (``WitnessEngine.report()``); None
+    #: unless the drill ran with ``witness=True``.
+    witness: dict[str, Any] | None = None
 
     @property
     def ok(self) -> bool:
@@ -80,6 +83,7 @@ class DrillReport:
             "violations": list(self.violations),
             "wedged": list(self.wedged),
             "slo": self.slo,
+            "witness": self.witness,
             "ok": self.ok,
         }
 
@@ -97,6 +101,7 @@ def run_drill(
     crash_mean: float | None = 90.0,
     tracer: Tracer = NULL_TRACER,
     slo: bool = False,
+    witness: bool = False,
 ) -> DrillReport:
     """Run one seeded fault drill; returns its :class:`DrillReport`.
 
@@ -109,6 +114,11 @@ def run_drill(
     profile rides the drill (sharing ``tracer`` when one is given,
     otherwise on its own private tracer); its verdict lands in
     ``report.slo`` and an unexpected breach becomes a violation.
+
+    With ``witness`` a sealing :class:`~repro.obs.witness.WitnessEngine`
+    certifies the drill's ``history.*`` stream online; its verdict lands in
+    ``report.witness`` and any MVSG cycle (or a tainted seal) becomes a
+    violation — the live counterpart of the oracle's post-mortem check.
     """
     if protocol not in PROTOCOLS:
         raise ValueError(f"unknown protocol {protocol!r}; pick from {PROTOCOLS}")
@@ -147,6 +157,15 @@ def run_drill(
             # NULL_TRACER is shared and immutable: give the watchdogs
             # their own private tracer instead.
             tracer = Tracer(exporters=[engine])
+    certifier = None
+    if witness:
+        from repro.obs.witness import WitnessEngine
+
+        certifier = WitnessEngine(seal=True)
+        if tracer.enabled:
+            tracer.add_exporter(certifier)
+        else:
+            tracer = Tracer(exporters=[certifier])
     if tracer.enabled:
         tracer.clock = lambda: sim.now  # fault timelines in virtual time
     instrumentation = attach_tracer(db, tracer)
@@ -232,6 +251,11 @@ def run_drill(
                 f"[{breach.window_start:g}, {breach.window_end:g})"
             )
         tracer.remove_exporter(engine)
+    if certifier is not None:
+        certifier.finish()
+        report.witness = certifier.report()
+        report.violations.extend(certifier.gate_violations())
+        tracer.remove_exporter(certifier)
     if tracer.enabled:
         tracer.emit(
             "fault.drill.done",
@@ -352,6 +376,13 @@ def main(argv: list[str] | None = None) -> int:
         "drill; an unexpected breach fails the drill",
     )
     parser.add_argument(
+        "--witness",
+        action="store_true",
+        help="certify each drill's history stream online with the sealing "
+        "serializability witness; an MVSG cycle fails the drill "
+        "(see docs/witness.md)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="only print the final verdict"
     )
     args = parser.parse_args(argv)
@@ -389,6 +420,11 @@ def main(argv: list[str] | None = None) -> int:
                 if report.slo is not None
                 else ""
             )
+            + (
+                f" witness={'1SR' if report.witness['ok'] else 'FAIL'}"
+                if report.witness is not None
+                else ""
+            )
         )
 
     print(
@@ -406,6 +442,7 @@ def main(argv: list[str] | None = None) -> int:
         crash_mean=args.crash_mean or None,
         tracer=tracer,
         slo=args.slo,
+        witness=args.witness,
         progress=progress,
     )
     tracer.close()
@@ -456,6 +493,11 @@ def _overload_main(args: argparse.Namespace) -> int:
                 f"ro_p99x={report.ro_p99_ratio:<5.2f} "
                 f"rw_commits={report.overload.rw_commits:<5d} "
                 f"ro_commits={report.overload.ro_commits}"
+                + (
+                    f" witness={'1SR' if report.witness['ok'] else 'FAIL'}"
+                    if report.witness is not None
+                    else ""
+                )
             )
     print(f"{args.seeds} campaigns, {len(failed)} failed")
     for report in failed:
@@ -497,6 +539,12 @@ def _memory_main(args: argparse.Namespace) -> int:
                 + (
                     f" slo={'ok' if report.slo['ok'] else 'BREACH'}"
                     if report.slo is not None
+                    else ""
+                )
+                + (
+                    f" witness={'1SR' if report.witness['ok'] else 'FAIL'}"
+                    f" (peak {report.witness['peak_tracked']})"
+                    if report.witness is not None
                     else ""
                 )
             )
@@ -555,6 +603,11 @@ def _replication_main(args: argparse.Namespace) -> int:
                 f"promoted=r{phase.promoted_replica or '-'} "
                 f"drops={report.faults.get('drops', 0):<3d} "
                 f"parked={report.faults.get('partition_deferrals', 0)}"
+                + (
+                    f" witness={'1SR' if report.witness['ok'] else 'FAIL'}"
+                    if report.witness is not None
+                    else ""
+                )
             )
     print(f"{args.seeds} campaigns, {len(failed)} failed")
     for report in failed:

@@ -1,0 +1,79 @@
+"""Shared MVSG edge-derivation rules — one implementation, two checkers.
+
+The paper's Section 3.2 derives the multiversion serialization graph from
+reads-from pairs and a per-object version order:
+
+    for each reads-from pair (Tj reads x from Ti) and each other writer Tk
+    of x (k distinct from i and j):
+        if Ti <<_x Tk:  add  Tj -> Tk      (an anti-dependency, ``rw``)
+        if Tk <<_x Ti:  add  Tk -> Ti      (a write-order edge, ``ww``)
+
+plus the SG reads-from edges Ti -> Tj themselves (``wr``).  These rules
+used to live only inside :func:`repro.histories.mvsg.multiversion_serialization_graph`,
+which walks a *complete* history; the online witness
+(:mod:`repro.obs.witness`) needs the same rules applied incrementally as
+commits stream in.  Divergent reimplementations of a correctness oracle are
+how checkers silently rot, so both callers derive edges through this module:
+the offline builder iterates every pair against the full version order, the
+online engine calls the same generator with the writers known so far and
+again for each later-arriving writer.
+
+Edges are yielded as ``(src, dst, kind)`` with ``kind`` in ``{"wr", "rw",
+"ww"}`` — the offline graph ignores the tag; the witness keeps it for
+``explain`` forensics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+#: Edge-kind tags (Adya-style nomenclature).
+WR = "wr"  # reads-from: writer -> reader
+RW = "rw"  # anti-dependency: reader -> later writer of the same object
+WW = "ww"  # version order: earlier writer -> the read version's writer
+
+
+def sg_edge(reader: int, writer: int, committed: Iterable[int]) -> tuple[int, int, str] | None:
+    """The SG reads-from edge for one pair, or None when it contributes nothing.
+
+    In a multiversion history the only direct conflicts are reads-from
+    (``w_i[x_i]`` precedes ``r_j[x_i]``); writes on distinct versions do not
+    conflict.  A pair whose writer is uncommitted (aborted or in-flight)
+    contributes no edge — that is exactly the committed projection.  The
+    notional initial transaction 0 counts as committed.
+    """
+    if writer != reader and (writer in committed or writer == 0):
+        return writer, reader, WR
+    return None
+
+
+def version_order_edges(
+    reader: int,
+    writer: int,
+    others: Iterable[int],
+    precedes: Callable[[int, int], bool],
+) -> Iterator[tuple[int, int, str]]:
+    """Version-order edges for one reads-from pair against candidate writers.
+
+    ``others`` are writers of the same object (in any iteration order);
+    ``precedes(a, b)`` is the version order ``a <<_x b``.  Writers equal to
+    the pair's reader or writer are skipped per the rule's "k distinct from
+    i and j" side condition — the caller never needs to pre-filter.
+    """
+    for other in others:
+        if other == writer or other == reader:
+            continue
+        if precedes(writer, other):
+            yield reader, other, RW  # Tj -> Tk
+        else:
+            yield other, writer, WW  # Tk -> Ti
+
+
+def number_precedes(a: int, b: int) -> bool:
+    """The scheduler-chosen version order: by version number (creator tn).
+
+    This is the order Theorem 1 certifies against; the online witness uses
+    it directly (no position maps needed — version numbers are totally
+    ordered integers with the initial transaction 0 first).
+    """
+    return a < b

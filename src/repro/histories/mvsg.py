@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Hashable
 
+from repro.histories.derive import sg_edge, version_order_edges
 from repro.histories.graphs import Digraph
 from repro.histories.operations import History, OpKind
 
@@ -78,9 +79,12 @@ def multiversion_serialization_graph(
 
     # SG edges: in an MV history the only direct conflicts are reads-from
     # (w_i[x_i] precedes r_j[x_i]); w-w on different versions do not conflict.
+    # Both rule sets live in repro.histories.derive, shared with the online
+    # witness (repro.obs.witness) so the two checkers cannot drift apart.
     for reader, writer, _key in reads_from:
-        if writer != reader and (writer in committed or writer == 0):
-            graph.add_edge(writer, reader)
+        edge = sg_edge(reader, writer, committed)
+        if edge is not None:
+            graph.add_edge(edge[0], edge[1])
 
     # Version order edges.
     for reader, writer, key in reads_from:
@@ -90,13 +94,13 @@ def multiversion_serialization_graph(
             # initial version the supplied order omits): no version-order
             # edges can be derived from this read.
             continue
-        for other in version_order.get(key, ()):
-            if other == writer or other == reader:
-                continue
-            if order_pos[writer] < order_pos[other]:
-                graph.add_edge(reader, other)  # Tj -> Tk
-            else:
-                graph.add_edge(other, writer)  # Tk -> Ti
+        for src, dst, _kind in version_order_edges(
+            reader,
+            writer,
+            version_order.get(key, ()),
+            lambda a, b, pos=order_pos: pos[a] < pos[b],
+        ):
+            graph.add_edge(src, dst)
     return graph
 
 

@@ -20,7 +20,9 @@ from __future__ import annotations
 from typing import Hashable
 
 from repro.core.transaction import Transaction
+from repro.errors import ProtocolError
 from repro.histories.operations import History, Op, OpKind
+from repro.obs.tracer import NULL_TRACER
 
 #: Identity offset for read-only transactions, which have no tn of their own.
 #: Kept far above any realistic tn so reader nodes never collide with writers.
@@ -28,12 +30,31 @@ RO_ID_OFFSET = 10_000_000_000
 
 
 class HistoryRecorder:
-    """Accumulates the multiversion history produced by one scheduler."""
+    """Accumulates the multiversion history produced by one scheduler.
+
+    When a tracer is attached (``attach_tracer`` wires the scheduler's
+    recorder like every other component), each recording call also emits a
+    ``history.*`` trace event *at the moment the operation takes effect* —
+    the stream the online witness (:mod:`repro.obs.witness`) certifies:
+
+    * ``history.begin``  — ``txn``, ``cls``
+    * ``history.read``   — ``txn``, ``key``, ``version`` (None = own write)
+    * ``history.write``  — ``txn``, ``key``
+    * ``history.commit`` — ``txn``, ``ident``, ``tn``, ``cls``
+    * ``history.abort``  — ``txn``, ``ident``, ``tn``, ``cls``
+
+    ``txn`` is the process-unique ``txn_id`` (the buffering token); the
+    serialization identity ``ident`` only exists at finish time, exactly as
+    in the buffered history.
+    """
 
     def __init__(self) -> None:
         self._buffers: dict[int, list[Op]] = {}
         self._history = History()
         self._abort_seq = 0
+        #: Structured-event tracer; NULL_TRACER unless attach_tracer() wired
+        #: a real one through the owning scheduler.
+        self.tracer = NULL_TRACER
         #: Order-sensitive live trace: (kind, txn_id, key, version_tn, tn).
         #: Unlike the buffered history (whose operations flush at commit in
         #: serialization identity), the live trace records events at the
@@ -45,10 +66,25 @@ class HistoryRecorder:
 
     @staticmethod
     def identity(txn: Transaction) -> int:
-        """The history identity a transaction's operations are recorded under."""
+        """The history identity a transaction's operations are recorded under.
+
+        Raises :class:`~repro.errors.ProtocolError` if a read-write
+        transaction carries a ``tn`` at or above :data:`RO_ID_OFFSET` — such
+        a tn would alias a read-only node in the history graph and every
+        downstream checker would silently attribute the writer's operations
+        to a reader.  No correct protocol can reach that range (tns are
+        small dense counters), so this is a loud guard against a
+        version-control counter gone wild, not a recoverable condition.
+        """
         if txn.is_read_only:
             return RO_ID_OFFSET + txn.txn_id
         if txn.tn is not None:
+            if txn.tn >= RO_ID_OFFSET:
+                raise ProtocolError(
+                    f"read-write transaction {txn.txn_id} has tn {txn.tn} >= "
+                    f"RO_ID_OFFSET ({RO_ID_OFFSET}); refusing to alias a "
+                    f"read-only history node"
+                )
             return txn.tn
         raise ValueError(f"transaction {txn.txn_id} has no tn yet; buffer instead")
 
@@ -56,6 +92,12 @@ class HistoryRecorder:
 
     def record_begin(self, txn: Transaction) -> None:
         self._buffers.setdefault(txn.txn_id, [])
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "history.begin",
+                txn=txn.txn_id,
+                cls="ro" if txn.is_read_only else "rw",
+            )
 
     def record_read(self, txn: Transaction, key: Hashable, version: int | None) -> None:
         """Record a read; ``version=None`` means "the reader's own staged write"
@@ -64,17 +106,29 @@ class HistoryRecorder:
             Op(OpKind.READ, -1, key, version)
         )
         self.live.append(("r", txn.txn_id, key, version, None))
+        if self.tracer.enabled:
+            self.tracer.emit("history.read", txn=txn.txn_id, key=key, version=version)
 
     def record_write(self, txn: Transaction, key: Hashable) -> None:
         # Version subscript is fixed up at flush time to the final tn.
         self._buffers.setdefault(txn.txn_id, []).append(Op(OpKind.WRITE, -1, key, -1))
         self.live.append(("w", txn.txn_id, key, None, None))
+        if self.tracer.enabled:
+            self.tracer.emit("history.write", txn=txn.txn_id, key=key)
 
     def record_commit(self, txn: Transaction) -> None:
         ident = self.identity(txn)
         self._flush(txn.txn_id, ident)
         self._history.append(Op(OpKind.COMMIT, ident))
         self.live.append(("c", txn.txn_id, None, None, txn.tn))
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "history.commit",
+                txn=txn.txn_id,
+                ident=ident,
+                tn=txn.tn,
+                cls="ro" if txn.is_read_only else "rw",
+            )
 
     def record_abort(self, txn: Transaction) -> None:
         # Aborted read-write transactions may have no tn; give them a unique
@@ -89,6 +143,14 @@ class HistoryRecorder:
         self._flush(txn.txn_id, ident)
         self._history.append(Op(OpKind.ABORT, ident))
         self.live.append(("a", txn.txn_id, None, None, txn.tn))
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "history.abort",
+                txn=txn.txn_id,
+                ident=ident,
+                tn=txn.tn,
+                cls="ro" if txn.is_read_only else "rw",
+            )
 
     def _flush(self, txn_id: int, ident: int) -> None:
         buffered = self._buffers.pop(txn_id, [])

@@ -275,6 +275,36 @@ def render_spans(events: TraceDicts, limit: int = 50) -> str:
     return "\n".join(lines).rstrip("\n")
 
 
+# -- garbage-collection cost --------------------------------------------------------
+
+
+def gc_summary(events: TraceDicts) -> dict[str, Any] | None:
+    """Aggregate ``gc.sweep`` events into the collector's cost counters.
+
+    Mirrors the :class:`~repro.storage.gc.GarbageCollector` accounting —
+    ``versions_scanned`` and ``interior_discarded`` are the bounded
+    collector's headline numbers (sweep cost and mid-chain reclamation) —
+    but rebuilt from the trace, so a recorded run can be audited offline.
+    Returns ``None`` when the trace has no sweep events.
+    """
+    sweeps = [e for e in events if e.get("name") == "gc.sweep"]
+    if not sweeps:
+        return None
+    discarded = sum(e.get("discarded", 0) for e in sweeps)
+    scanned = sum(e.get("scanned", 0) for e in sweeps)
+    return {
+        "sweeps": len(sweeps),
+        "versions_discarded": discarded,
+        "interior_discarded": sum(e.get("interior", 0) for e in sweeps),
+        "versions_scanned": scanned,
+        "scan_per_reclaimed": (
+            round(scanned / discarded, 6) if discarded else float(scanned)
+        ),
+        "peak_live_versions": max(e.get("live_versions", 0) for e in sweeps),
+        "final_live_versions": sweeps[-1].get("live_versions", 0),
+    }
+
+
 # -- summary + CLI -----------------------------------------------------------------
 
 
@@ -289,14 +319,88 @@ def render_summary(events: TraceDicts) -> str:
     width = max(len(name) for name in counts)
     for name, count in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])):
         lines.append(f"  {name:<{width}}  {count}")
+    gc = gc_summary(events)
+    if gc is not None:
+        lines.append(
+            f"gc: {gc['sweeps']} sweeps scanned {gc['versions_scanned']} versions, "
+            f"discarded {gc['versions_discarded']} "
+            f"({gc['interior_discarded']} interior), "
+            f"{gc['scan_per_reclaimed']:g} scanned/reclaimed, "
+            f"peak live {gc['peak_live_versions']}"
+        )
     return "\n".join(lines)
 
 
+#: Schema tag for the ``--json`` report; bump on breaking shape changes.
+REPORT_SCHEMA = "repro.trace/1"
+
+
+def trace_report(events: TraceDicts) -> dict[str, Any]:
+    """Machine-readable trace digest for ``trace --json``.
+
+    Shape (all keys always present)::
+
+        schema              "repro.trace/1"
+        events              total event count
+        span                last ts - first ts (virtual time)
+        counts              {event name: count}
+        transactions        {total, committed, aborted, open}
+        blocking            {events, deadlocks, longest_chain}
+        visibility          {samples, peak, mean} | null  (no vc.* events)
+        gc                  gc_summary() block | null     (no gc.sweep events)
+
+    The digest is a pure function of the event stream — two runs over the
+    same trace are byte-identical, so it can be diffed or gated in CI.
+    """
+    counts: dict[str, int] = {}
+    for event in events:
+        counts[event["name"]] = counts.get(event["name"], 0) + 1
+    timelines = transaction_timelines(events)
+    committed = aborted = 0
+    for txn_events in timelines.values():
+        outcomes = {e["name"] for e in txn_events}
+        if "txn.commit" in outcomes:
+            committed += 1
+        elif "txn.abort" in outcomes:
+            aborted += 1
+    chains = blocking_chains(events)
+    series = visibility_lag_series(events)
+    visibility = None
+    if series:
+        visibility = {
+            "samples": len(series),
+            "peak": max(lag for _ts, lag in series),
+            "mean": round(sum(lag for _ts, lag in series) / len(series), 6),
+        }
+    return {
+        "schema": REPORT_SCHEMA,
+        "events": len(events),
+        "span": round(events[-1]["ts"] - events[0]["ts"], 9) if events else 0.0,
+        "counts": counts,
+        "transactions": {
+            "total": len(timelines),
+            "committed": committed,
+            "aborted": aborted,
+            "open": len(timelines) - committed - aborted,
+        },
+        "blocking": {
+            "events": len(chains),
+            "deadlocks": counts.get("lock.deadlock", 0),
+            "longest_chain": max((len(c["chain"]) for c in chains), default=0),
+        },
+        "visibility": visibility,
+        "gc": gc_summary(events),
+    }
+
+
 def main(argv: list[str]) -> int:
-    """``python -m repro trace <file> [--timelines] [--blocking] [--lag] [--spans] [--summary]``.
+    """``python -m repro trace <file> [--timelines] [--blocking] [--lag] [--spans] [--summary] [--json]``.
 
     With no section flags, all five sections print.  ``--limit N`` caps the
     rows of the timeline, blocking, and span sections (default 50).
+    ``--json`` instead prints the machine-readable digest (see
+    :func:`trace_report` for the documented schema) and ignores the
+    section flags.
     """
     args = list(argv)
     sections = {
@@ -307,6 +411,7 @@ def main(argv: list[str]) -> int:
         "summary": False,
     }
     limit = 50
+    as_json = False
     path: str | None = None
     index = 0
     while index < len(args):
@@ -318,6 +423,8 @@ def main(argv: list[str]) -> int:
             flag = arg[2:]
             if flag in sections:
                 sections[flag] = True
+            elif flag == "json":
+                as_json = True
             elif flag == "limit":
                 index += 1
                 if index >= len(args):
@@ -352,6 +459,9 @@ def main(argv: list[str]) -> int:
             "was the run traced (and the exporter closed)?"
         )
         return 1
+    if as_json:
+        print(json.dumps(trace_report(events), sort_keys=True, indent=2))
+        return 0
     if not any(sections.values()):
         sections = dict.fromkeys(sections, True)
     blocks: list[str] = []

@@ -151,6 +151,9 @@ def attach_tracer(scheduler: Any, tracer: Tracer) -> Instrumentation:
 def _attach_one(scheduler: Any, handle: Instrumentation) -> None:
     handle._set_tracer(scheduler)
     handle._set_tracer(getattr(scheduler, "counters", None))
+    # The history recorder emits history.* events — the operation stream the
+    # online serializability witness (repro.obs.witness) certifies.
+    handle._set_tracer(getattr(scheduler, "recorder", None))
     locks = getattr(scheduler, "locks", None)
     handle._set_tracer(locks)
     if locks is not None:

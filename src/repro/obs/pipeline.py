@@ -45,6 +45,9 @@ class ObsPipeline:
         jsonl: path or stream for a :class:`JsonlExporter`.
         console: add a :class:`ConsoleSummaryExporter` (summary on close).
         engine: a :class:`~repro.obs.slo.SLOEngine` to evaluate online.
+        witness: a :class:`~repro.obs.witness.WitnessEngine` certifying
+            the ``history.*`` stream live (finished on close, like the
+            SLO engine).
         exporters: extra ready-made exporters to include as-is.
     """
 
@@ -57,15 +60,17 @@ class ObsPipeline:
         jsonl: str | IO[str] | None = None,
         console: bool = False,
         engine: Any | None = None,
+        witness: Any | None = None,
         exporters: Iterable[Any] = (),
     ):
         self.ring = RingBufferExporter(capacity=ring) if ring else None
         self.jsonl = JsonlExporter(jsonl) if jsonl is not None else None
         self.console = ConsoleSummaryExporter() if console else None
         self.engine = engine
+        self.witness = witness
         all_exporters = [
             exporter
-            for exporter in (self.ring, self.jsonl, self.console, engine)
+            for exporter in (self.ring, self.jsonl, self.console, engine, witness)
             if exporter is not None
         ]
         all_exporters.extend(exporters)
@@ -111,9 +116,12 @@ class ObsPipeline:
         self._closed = True
         self.detach()
         if self.tracer is not NULL_TRACER:
-            self.tracer.close()  # engine.finish() rides on its close() hook
-        elif self.engine is not None:
-            self.engine.finish()
+            self.tracer.close()  # engine/witness finish() rides close()
+        else:
+            if self.engine is not None:
+                self.engine.finish()
+            if self.witness is not None:
+                self.witness.finish()
 
     def __enter__(self) -> "ObsPipeline":
         return self

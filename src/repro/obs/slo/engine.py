@@ -26,7 +26,8 @@ signal             derivation
 ``staleness.replica``  ``staleness`` of every ``replica.watermark``
 ``replica.lag``    the ``lag`` field of every ``replica.lag``
 ``lock.wait_depth``  live count of lock-blocked txns, sampled on every change
-``gc.live_versions`` / ``gc.max_chain``  the gauges on every ``gc.sweep``
+``gc.live_versions`` / ``gc.max_chain`` / ``gc.scanned`` / ``gc.interior``
+                   the gauges and cost counters on every ``gc.sweep``
 ``snapshot.revoked``  each ``snapshot.revoked`` (lease revocation under
                    memory pressure or TTL expiry — expected under drills)
 =================  ==============================================================
@@ -224,6 +225,12 @@ class SLOEngine:
             chain = fields.get("max_chain")
             if chain is not None:
                 self._signal("gc.max_chain", chain)
+            scanned = fields.get("scanned")
+            if scanned is not None:
+                self._signal("gc.scanned", scanned)
+            interior = fields.get("interior")
+            if interior is not None:
+                self._signal("gc.interior", interior)
         elif name == "snapshot.revoked":
             self._signal("snapshot.revoked", 1.0)
         extra = self._extra.get(name)

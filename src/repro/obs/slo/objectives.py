@@ -508,6 +508,13 @@ def memory_objectives(*, live_versions_bound: float | None = None) -> list[Objec
             description="longest single version chain vs its own EWMA "
             "baseline",
         ),
+        MaxObjective(
+            "gc_scan_cost", "gc.scanned",
+            baseline=Ewma(alpha=0.3, warmup=4), rel_limit=3.0, min_count=1,
+            expected=True, hysteresis=Hysteresis(2, 2),
+            description="versions examined per sweep vs its own EWMA "
+            "baseline — a blow-up means range tracking stopped amortizing",
+        ),
     ]
     if live_versions_bound is not None:
         objectives.insert(

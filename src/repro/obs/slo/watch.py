@@ -7,8 +7,14 @@ event stream, two invocations over the same file produce byte-identical
 output and byte-identical bundles — the watchdog equivalent of the seeded
 replay guarantee everywhere else in this repo.
 
+With ``--witness`` the same replay also feeds the streaming MVSG certifier
+(:class:`~repro.obs.witness.WitnessEngine`), printing its 1SR verdict next
+to the SLO table — one pass over the trace answers both "did the run keep
+its promises?" and "was it serializable?" (see ``docs/witness.md``).
+
 Exit codes: 0 — no unexpected breach; 3 — unexpected breach (or any breach
-with ``--strict``); 1 — trace unreadable; 2 — bad usage.
+with ``--strict``), or a failed ``--witness`` certification; 1 — trace
+unreadable; 2 — bad usage.
 """
 
 from __future__ import annotations
@@ -79,6 +85,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="fail (exit 3) on expected breaches too, not just unexpected",
     )
+    parser.add_argument(
+        "--witness",
+        action="store_true",
+        help="also certify the trace's history.* stream with the streaming "
+        "MVSG witness; exit 3 if it refuses to certify 1SR",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -99,16 +111,32 @@ def main(argv: list[str] | None = None) -> int:
             "was the run traced (and the exporter closed)?"
         )
         return 1
+    certifier = None
+    if args.witness:
+        from repro.obs.witness import WitnessEngine
+
+        certifier = WitnessEngine(seal=True)
     for event in events:
         engine.ingest(event)
+        if certifier is not None:
+            certifier.ingest(event)
     engine.finish()
+    if certifier is not None:
+        certifier.finish()
 
     if args.json:
-        print(json.dumps(engine.report(), sort_keys=True, indent=2, default=repr))
+        verdict = engine.report()
+        if certifier is not None:
+            verdict = {"slo": verdict, "witness": certifier.report()}
+        print(json.dumps(verdict, sort_keys=True, indent=2, default=repr))
     else:
         print(engine.render())
         if engine.bundle_paths:
             for path in engine.bundle_paths:
                 print(f"bundle written to {path}")
+        if certifier is not None:
+            print(certifier.render())
     failed = engine.breaches if args.strict else engine.unexpected_breaches
+    if certifier is not None and not certifier.ok:
+        return 3
     return 3 if failed else 0

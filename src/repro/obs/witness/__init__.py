@@ -1,0 +1,38 @@
+"""Online serializability witness — streaming MVSG certification.
+
+The paper proves (Theorem 1) that histories admitted by version control +
+a conflict-serializable CC are one-copy serializable; the offline checker
+(:mod:`repro.histories.checker`) re-verifies that after every run.  This
+package turns the theorem into a *live* watchdog: a tracer exporter that
+consumes the ``history.*`` operation stream, maintains the MVSG
+incrementally under the version-number order (shared edge rules:
+:mod:`repro.histories.derive`; incremental cycle detection:
+:mod:`repro.obs.witness.topology`), and reports a 1SR violation at the
+closing edge — with the cycle and a flight-recorder bundle — instead of
+at post-mortem.  Sealing folds the committed prefix below the visibility
+floor so memory tracks the live-transaction window, not run length.
+
+Entry points: :class:`WitnessEngine` (attach like an SLO engine),
+:func:`witness_history` (offline parity bridge), and
+``python -m repro explain`` (:mod:`repro.obs.witness.explain`) for
+per-transaction forensics.
+"""
+
+from repro.obs.witness.engine import (
+    REPORT_SCHEMA,
+    WitnessBreach,
+    WitnessEngine,
+    witness_history,
+)
+from repro.obs.witness.explain import explain_transaction, render_explain
+from repro.obs.witness.topology import IncrementalTopology
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "IncrementalTopology",
+    "WitnessBreach",
+    "WitnessEngine",
+    "explain_transaction",
+    "render_explain",
+    "witness_history",
+]

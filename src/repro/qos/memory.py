@@ -257,6 +257,12 @@ class MemoryReport:
     #: Online watchdog verdict block (``SLOEngine.report()``); None when the
     #: campaign ran with ``slo=False``.
     slo: dict[str, Any] | None = None
+    #: Streaming serializability verdict (``WitnessEngine.report()``); None
+    #: when the campaign ran with ``witness=False``.
+    witness: dict[str, Any] | None = None
+    #: Ceiling asserted on ``witness["peak_tracked"]`` — like ``live_bound``
+    #: a constant independent of ``duration``.
+    witness_bound: int = 0
 
     @property
     def ok(self) -> bool:
@@ -298,6 +304,8 @@ class MemoryReport:
             "deterministic": self.deterministic,
             "violations": list(self.violations),
             "slo": self.slo,
+            "witness": self.witness,
+            "witness_bound": self.witness_bound,
             "ok": self.ok,
         }
 
@@ -323,6 +331,7 @@ def _run_phase(
     high_watermark: int,
     scan_passes: int = 3,
     engine: Any | None = None,
+    witness: Any | None = None,
 ) -> MemoryStats:
     """One closed-loop HTAP run on the virtual clock.
 
@@ -344,7 +353,7 @@ def _run_phase(
     )
     scheduler.ro_registry.ttl = ttl
     scheduler.ro_registry.clock = lambda: sim.now
-    pipeline = ObsPipeline(sim=sim, ring=65_536, engine=engine)
+    pipeline = ObsPipeline(sim=sim, ring=65_536, engine=engine, witness=witness)
     pipeline.attach(scheduler)
     controller = MemoryPressureController(
         scheduler.store,
@@ -555,8 +564,10 @@ def run_memory_campaign(
     low_watermark: int = 24,
     high_watermark: int = 32,
     live_bound: int | None = None,
+    witness_bound: int | None = None,
     verify_determinism: bool = True,
     slo: bool = True,
+    witness: bool = True,
 ) -> MemoryReport:
     """Run one seeded memory campaign and check the acceptance criteria.
 
@@ -576,10 +587,27 @@ def run_memory_campaign(
       count) and both SLO verdict blocks must compare equal;
     * **memory SLO profile** — ``gc.live_versions`` max objective holds
       online, ``snapshot.revoked`` is recorded as an expected anomaly,
-      and ``ro_blocking`` stays a hard zero.
+      and ``ro_blocking`` stays a hard zero;
+    * **bounded witness** — with ``witness`` (the default) a sealing
+      :class:`~repro.obs.witness.WitnessEngine` certifies the history
+      stream online, the verdict must be a clean 1SR, and its
+      ``peak_tracked`` must stay under ``witness_bound`` (default: a
+      multiple of keyspace + client population, independent of
+      ``duration``) — sealing, not run length, bounds the certifier.
     """
+    from repro.obs.witness import WitnessEngine
+
     if live_bound is None:
         live_bound = int(high_watermark * LIVE_BOUND_FACTOR)
+    if witness_bound is None:
+        # Sealing keeps the certifier's footprint at the keyspace frontier
+        # plus the live-client window plus the versions a lease-pinned long
+        # scan holds readable (its lifetime is TTL-bounded, so this is a
+        # constant too; empirically the asymptote is ~175 for the default
+        # knobs, identical at duration 400 and 800).
+        witness_bound = 4 * live_bound + 8 * (
+            n_keys + writers + readers + long_scans
+        )
     knobs = dict(
         duration=duration,
         writers=writers,
@@ -592,14 +620,20 @@ def run_memory_campaign(
         high_watermark=high_watermark,
     )
     engine = _memory_engine(live_bound, duration) if slo else None
-    stats = _run_phase(seed, engine=engine, **knobs)
+    certifier = WitnessEngine(seal=True) if witness else None
+    stats = _run_phase(seed, engine=engine, witness=certifier, **knobs)
     deterministic = True
     if verify_determinism:
         replay_engine = _memory_engine(live_bound, duration) if slo else None
-        replay = _run_phase(seed, engine=replay_engine, **knobs)
+        replay_certifier = WitnessEngine(seal=True) if witness else None
+        replay = _run_phase(
+            seed, engine=replay_engine, witness=replay_certifier, **knobs
+        )
         deterministic = replay.fingerprint() == stats.fingerprint()
         if deterministic and engine is not None:
             deterministic = replay_engine.report() == engine.report()
+        if deterministic and certifier is not None:
+            deterministic = replay_certifier.report() == certifier.report()
 
     report = MemoryReport(
         seed=seed,
@@ -614,6 +648,7 @@ def run_memory_campaign(
         live_bound=live_bound,
         stats=stats,
         deterministic=deterministic,
+        witness_bound=witness_bound,
     )
     checks = report.violations
     checks.extend(stats.invariant_violations)
@@ -643,5 +678,13 @@ def run_memory_campaign(
                 f"slo breach: {breach.objective} value={breach.value:g} "
                 f"vs {breach.threshold} at window "
                 f"[{breach.window_start:g}, {breach.window_end:g})"
+            )
+    if certifier is not None:
+        report.witness = certifier.report()
+        checks.extend(certifier.gate_violations())
+        if certifier.peak_tracked > witness_bound:
+            checks.append(
+                f"witness peak tracked {certifier.peak_tracked} above bound "
+                f"{witness_bound}: sealing failed to fold the prefix"
             )
     return report

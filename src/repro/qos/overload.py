@@ -99,6 +99,9 @@ class OverloadReport:
     #: Online watchdog verdict block (``SLOEngine.report()``); None when the
     #: campaign ran with ``slo=False``.
     slo: dict[str, Any] | None = None
+    #: Streaming serializability verdict (``WitnessEngine.report()``); None
+    #: when the campaign ran with ``witness=False``.
+    witness: dict[str, Any] | None = None
 
     @property
     def ok(self) -> bool:
@@ -146,6 +149,7 @@ class OverloadReport:
             "deterministic": self.deterministic,
             "violations": list(self.violations),
             "slo": self.slo,
+            "witness": self.witness,
             "ok": self.ok,
         }
 
@@ -162,6 +166,7 @@ def _run_phase(
     n_keys: int = 6,
     reap_period: float = 1.0,
     engine: Any | None = None,
+    witness: Any | None = None,
 ) -> PhaseStats:
     """One closed-loop run; ``writers=0`` gives the uncontended RO baseline.
 
@@ -171,7 +176,9 @@ def _run_phase(
     exponential backoff, exactly the loop ``Session.run`` implements.
 
     ``engine`` is an optional :class:`~repro.obs.slo.SLOEngine` evaluated
-    online over the phase's event stream (the overload phase's watchdogs).
+    online over the phase's event stream (the overload phase's watchdogs);
+    ``witness`` an optional :class:`~repro.obs.witness.WitnessEngine`
+    certifying the phase's ``history.*`` stream live.
     """
     from repro.protocols.vc_two_phase_locking import VC2PLScheduler
 
@@ -180,7 +187,7 @@ def _run_phase(
     scheduler.admission = AdmissionController(
         capacity=capacity, queue_limit=2 * capacity, policy=policy
     )
-    pipeline = ObsPipeline(sim=sim, ring=65_536, engine=engine)
+    pipeline = ObsPipeline(sim=sim, ring=65_536, engine=engine, witness=witness)
     pipeline.attach(scheduler)
     tracer = pipeline.tracer
     streams = RandomStreams(seed)
@@ -306,6 +313,7 @@ def run_overload_campaign(
     deadline: float = 10.0,
     verify_determinism: bool = True,
     slo: bool = True,
+    witness: bool = True,
 ) -> OverloadReport:
     """Run one seeded overload campaign and check the acceptance criteria.
 
@@ -323,7 +331,15 @@ def run_overload_campaign(
     ``verify_determinism`` the replay carries a fresh engine and both
     verdict blocks must compare equal — the watchdogs themselves are held
     to the seeded-replay standard.
+
+    With ``witness`` (the default) a sealing
+    :class:`~repro.obs.witness.WitnessEngine` certifies the overload
+    phase's history stream online; an MVSG cycle (or a tainted seal) is a
+    campaign violation, and under ``verify_determinism`` its verdict block
+    must replay byte-identically too.
     """
+    from repro.obs.witness import WitnessEngine
+
     writers = max(1, int(capacity * overload_factor))
     knobs = dict(
         duration=duration,
@@ -334,14 +350,26 @@ def run_overload_campaign(
     )
     baseline = _run_phase(seed, writers=0, **knobs)
     engine = _overload_engine(baseline, capacity, duration) if slo else None
-    overload = _run_phase(seed, writers=writers, engine=engine, **knobs)
+    certifier = WitnessEngine(seal=True) if witness else None
+    overload = _run_phase(
+        seed, writers=writers, engine=engine, witness=certifier, **knobs
+    )
     deterministic = True
     if verify_determinism:
         replay_engine = _overload_engine(baseline, capacity, duration) if slo else None
-        replay = _run_phase(seed, writers=writers, engine=replay_engine, **knobs)
+        replay_certifier = WitnessEngine(seal=True) if witness else None
+        replay = _run_phase(
+            seed,
+            writers=writers,
+            engine=replay_engine,
+            witness=replay_certifier,
+            **knobs,
+        )
         deterministic = replay.fingerprint() == overload.fingerprint()
         if deterministic and engine is not None:
             deterministic = replay_engine.report() == engine.report()
+        if deterministic and certifier is not None:
+            deterministic = replay_certifier.report() == certifier.report()
 
     report = OverloadReport(
         seed=seed,
@@ -389,4 +417,7 @@ def run_overload_campaign(
                 f"vs {breach.threshold} at window "
                 f"[{breach.window_start:g}, {breach.window_end:g})"
             )
+    if certifier is not None:
+        report.witness = certifier.report()
+        checks.extend(certifier.gate_violations())
     return report

@@ -108,6 +108,9 @@ class ReplicationReport:
     #: Online watchdog verdict block (``SLOEngine.report()``); None when the
     #: campaign ran with ``slo=False``.
     slo: dict[str, Any] | None = None
+    #: Streaming serializability verdict (``WitnessEngine.report()``); None
+    #: when the campaign ran with ``witness=False``.
+    witness: dict[str, Any] | None = None
 
     @property
     def ok(self) -> bool:
@@ -139,6 +142,7 @@ class ReplicationReport:
             "violations": list(self.violations),
             "wedged": list(self.phase.wedged),
             "slo": self.slo,
+            "witness": self.witness,
             "ok": self.ok,
         }
 
@@ -198,9 +202,11 @@ def _run_phase(
     promote_at: float | None,
     n_keys: int = 8,
     engine: Any | None = None,
+    witness: Any | None = None,
 ) -> ReplicationPhase:
     """One seeded run.  ``engine`` is an optional
-    :class:`~repro.obs.slo.SLOEngine` fed online through an
+    :class:`~repro.obs.slo.SLOEngine` — and ``witness`` an optional
+    :class:`~repro.obs.witness.WitnessEngine` — fed online through an
     :class:`~repro.obs.ObsPipeline` attached to the cluster (and
     re-attached after a fail-over rebuilds the primary and shipper)."""
     sim = Simulator()
@@ -222,7 +228,11 @@ def _run_phase(
         latency=lambda: latency_rng.expovariate(2.0),
     )
     cluster = ReplicaCluster(n_replicas=n_replicas, courier=courier, checked=True)
-    pipeline = ObsPipeline(sim=sim, engine=engine) if engine is not None else None
+    pipeline = (
+        ObsPipeline(sim=sim, engine=engine, witness=witness)
+        if engine is not None or witness is not None
+        else None
+    )
     if pipeline is not None:
         pipeline.attach(cluster)
     tracer = pipeline.tracer if pipeline is not None else cluster.tracer
@@ -388,6 +398,7 @@ def run_replication_campaign(
     promote: bool = True,
     verify_determinism: bool = True,
     slo: bool = True,
+    witness: bool = True,
 ) -> ReplicationReport:
     """Run one seeded replication campaign and check its guarantees.
 
@@ -405,7 +416,15 @@ def run_replication_campaign(
     the campaign).  The verdict lands in ``report.slo``; under
     ``verify_determinism`` the replay carries a fresh engine and both
     verdict blocks must compare equal.
+
+    With ``witness`` (the default) a sealing
+    :class:`~repro.obs.witness.WitnessEngine` certifies the primary's
+    history stream online — across the fail-over, whose ``replica.promote``
+    event retires the promoted replica's watermark from the sealing floor —
+    and an MVSG cycle (or a tainted seal) is a campaign violation.
     """
+    from repro.obs.witness import WitnessEngine
+
     spec = spec if spec is not None else REPLICATION_SPEC
 
     def make_engine() -> Any:
@@ -427,14 +446,20 @@ def run_replication_campaign(
         promote_at=0.55 * duration if promote else None,
     )
     engine = make_engine() if slo else None
-    phase = _run_phase(seed, engine=engine, **knobs)
+    certifier = WitnessEngine(seal=True) if witness else None
+    phase = _run_phase(seed, engine=engine, witness=certifier, **knobs)
     deterministic = True
     if verify_determinism:
         replay_engine = make_engine() if slo else None
-        replay = _run_phase(seed, engine=replay_engine, **knobs)
+        replay_certifier = WitnessEngine(seal=True) if witness else None
+        replay = _run_phase(
+            seed, engine=replay_engine, witness=replay_certifier, **knobs
+        )
         deterministic = replay.fingerprint() == phase.fingerprint()
         if deterministic and engine is not None:
             deterministic = replay_engine.report() == engine.report()
+        if deterministic and certifier is not None:
+            deterministic = replay_certifier.report() == certifier.report()
 
     report = ReplicationReport(
         seed=seed,
@@ -465,4 +490,7 @@ def run_replication_campaign(
                 f"vs {breach.threshold} at window "
                 f"[{breach.window_start:g}, {breach.window_end:g})"
             )
+    if certifier is not None:
+        report.witness = certifier.report()
+        report.violations.extend(certifier.gate_violations())
     return report

@@ -346,6 +346,7 @@ class GarbageCollector:
                     pins=len(pins),
                     discarded=discarded,
                     interior=interior,
+                    scanned=scanned,
                     active_readers=self.registry.active_count(),
                     live_versions=live,
                     max_chain=longest,

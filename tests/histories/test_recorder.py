@@ -31,6 +31,29 @@ class TestIdentity:
         with pytest.raises(ValueError, match="no tn"):
             HistoryRecorder.identity(rw_txn())
 
+    def test_tn_in_read_only_range_rejected(self):
+        # A tn at or above RO_ID_OFFSET would alias a read-only node and
+        # silently misattribute the writer's operations in every checker.
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError, match="RO_ID_OFFSET"):
+            HistoryRecorder.identity(rw_txn(tn=RO_ID_OFFSET))
+        with pytest.raises(ProtocolError, match="refusing to alias"):
+            HistoryRecorder.identity(rw_txn(tn=RO_ID_OFFSET + 5))
+        # The guard is exclusive: the last legal tn still records.
+        assert HistoryRecorder.identity(rw_txn(tn=RO_ID_OFFSET - 1)) == RO_ID_OFFSET - 1
+
+    def test_commit_of_aliasing_tn_raises_loudly(self):
+        from repro.errors import ProtocolError
+
+        rec = HistoryRecorder()
+        t = rw_txn()
+        rec.record_begin(t)
+        rec.record_write(t, "x")
+        t.tn = RO_ID_OFFSET + 1
+        with pytest.raises(ProtocolError):
+            rec.record_commit(t)
+
 
 class TestBufferingAndFlush:
     def test_operations_flushed_under_tn_at_commit(self):

@@ -142,6 +142,101 @@ class TestBlockingChains:
         assert "DEADLOCK victim=T1 cycle: T1 -> T2" in render_blocking(events)
 
 
+GC_EVENTS = [
+    {"name": "gc.sweep", "ts": 10.0, "horizon": 5, "visible": 6, "pins": 1,
+     "discarded": 4, "interior": 1, "scanned": 12, "active_readers": 1,
+     "live_versions": 20, "max_chain": 3},
+    {"name": "gc.sweep", "ts": 20.0, "horizon": 9, "visible": 10, "pins": 0,
+     "discarded": 6, "interior": 2, "scanned": 8, "active_readers": 0,
+     "live_versions": 16, "max_chain": 2},
+]
+
+
+class TestGcSummary:
+    def test_counters_aggregate_across_sweeps(self):
+        from repro.obs.analyze import gc_summary
+
+        gc = gc_summary(VC_EVENTS + GC_EVENTS)
+        assert gc == {
+            "sweeps": 2,
+            "versions_discarded": 10,
+            "interior_discarded": 3,
+            "versions_scanned": 20,
+            "scan_per_reclaimed": 2.0,
+            "peak_live_versions": 20,
+            "final_live_versions": 16,
+        }
+
+    def test_none_without_sweep_events(self):
+        from repro.obs.analyze import gc_summary
+
+        assert gc_summary(VC_EVENTS) is None
+
+    def test_summary_section_renders_gc_line(self):
+        from repro.obs.analyze import render_summary
+
+        text = render_summary(VC_EVENTS + GC_EVENTS)
+        assert "gc: 2 sweeps scanned 20 versions" in text
+        assert "(3 interior)" in text
+
+    def test_collector_emits_scanned_field(self):
+        """End to end: a traced bounded collector puts the scan counter on
+        the wire, so offline audits see the same cost the object counted."""
+        from repro.core.transaction import Transaction
+        from repro.core.version_control import VersionControl
+        from repro.obs.exporters import RingBufferExporter
+        from repro.obs.tracer import Tracer
+        from repro.storage.gc import GarbageCollector
+        from repro.storage.mvstore import MVStore
+
+        store = MVStore()
+        vc = VersionControl()
+        gc = GarbageCollector(store, vc, bounded=True)
+        ring = RingBufferExporter(capacity=64)
+        gc.tracer = Tracer(exporters=[ring])
+        for round_no in range(1, 21):
+            txn = Transaction()
+            vc.vc_register(txn)
+            store.install("k", txn.tn, round_no)
+            vc.vc_complete(txn)
+        gc.collect()
+        sweeps = [e for e in ring.events() if e.name == "gc.sweep"]
+        assert sweeps and sweeps[-1].fields["scanned"] == gc.versions_scanned
+
+
+class TestTraceReport:
+    def test_shape_and_determinism(self):
+        from repro.obs.analyze import trace_report
+
+        events = VC_EVENTS + GC_EVENTS + [
+            {"name": "history.begin", "ts": 1.0, "txn": 1, "cls": "rw"},
+            {"name": "txn.begin", "ts": 1.0, "txn": 1, "cls": "rw"},
+            {"name": "txn.commit", "ts": 2.0, "txn": 1, "cls": "rw"},
+            {"name": "txn.begin", "ts": 3.0, "txn": 2, "cls": "rw"},
+            {"name": "txn.abort", "ts": 4.0, "txn": 2, "cls": "rw"},
+        ]
+        first = trace_report(list(events))
+        second = trace_report(list(events))
+        assert first == second
+        assert first["schema"] == "repro.trace/1"
+        assert first["transactions"] == {
+            "total": 2, "committed": 1, "aborted": 1, "open": 0,
+        }
+        assert first["gc"]["versions_scanned"] == 20
+        assert first["visibility"]["peak"] == 2
+
+    def test_json_flag_prints_parseable_digest(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", VC_EVENTS + GC_EVENTS)
+        assert main([path, "--json"]) == 0
+        digest = json.loads(capsys.readouterr().out)
+        assert digest["schema"] == "repro.trace/1"
+        assert digest["events"] == len(VC_EVENTS) + len(GC_EVENTS)
+        assert digest["gc"]["sweeps"] == 2
+        assert digest["blocking"] == {
+            "events": 0, "deadlocks": 0, "longest_chain": 0,
+        }
+
+
 class TestCli:
     def test_all_sections_by_default(self, tmp_path, capsys):
         path = write_trace(tmp_path / "t.jsonl", VC_EVENTS)

@@ -1,0 +1,135 @@
+"""``python -m repro explain`` — deterministic per-transaction forensics.
+
+The acceptance bar: on a trace recorded under fault injection, the report
+must be byte-stable across invocations and cover at least one committed
+and one aborted transaction (see ``docs/witness.md``).
+"""
+
+import io
+import json
+
+import pytest
+
+import repro.__main__ as repro_main
+from repro.obs.tracer import Tracer
+from repro.obs.witness.explain import (
+    explain_transaction,
+    main as explain_main,
+    render_explain,
+)
+
+
+@pytest.fixture(scope="module")
+def drill_events():
+    """One seeded fault drill, traced: lossy network + site crashes, so the
+    trace holds retries, aborts, and commits all at once."""
+    from repro.faults.drill import run_drill
+    from repro.obs.exporters import JsonlExporter
+
+    buffer = io.StringIO()
+    tracer = Tracer(exporters=[JsonlExporter(buffer)])
+    run_drill("dvc", seed=0, duration=150.0, tracer=tracer)
+    tracer.close()
+    return [json.loads(line) for line in buffer.getvalue().splitlines()]
+
+
+def outcome_txns(events):
+    committed = [
+        e["txn"] for e in events
+        if e["name"] == "history.commit" and e.get("cls") == "rw"
+    ]
+    aborted = [e["txn"] for e in events if e["name"] == "history.abort"]
+    return committed, aborted
+
+
+class TestExplainOnFaultDrill:
+    def test_drill_produced_both_outcomes(self, drill_events):
+        committed, aborted = outcome_txns(drill_events)
+        assert committed and aborted
+
+    def test_committed_report_is_byte_stable(self, drill_events):
+        committed, _ = outcome_txns(drill_events)
+        txn = committed[0]
+        first = explain_transaction([dict(e) for e in drill_events], txn)
+        second = explain_transaction([dict(e) for e in drill_events], txn)
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+        assert render_explain(first) == render_explain(second)
+        assert first["outcome"] == "committed"
+        assert first["operations"]
+
+    def test_aborted_report_is_byte_stable_and_typed(self, drill_events):
+        _, aborted = outcome_txns(drill_events)
+        txn = aborted[0]
+        first = explain_transaction([dict(e) for e in drill_events], txn)
+        second = explain_transaction([dict(e) for e in drill_events], txn)
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+        assert first["outcome"] == "aborted"
+        # The committed projection excludes it: no serialization edges.
+        assert first["edges"] == {"in": [], "out": []}
+        if first["abort"] is not None:
+            assert isinstance(first["abort"]["retryable"], bool)
+        rendered = render_explain(first)
+        assert "aborted" in rendered
+        assert "committed projection excludes" in rendered
+
+    def test_unknown_transaction_lists_known_ids(self, drill_events):
+        with pytest.raises(LookupError, match="known transactions"):
+            explain_transaction(drill_events, 999_999)
+
+
+SMALL_TRACE = [
+    {"name": "history.begin", "ts": 1.0, "txn": 1, "cls": "rw"},
+    {"name": "history.write", "ts": 2.0, "txn": 1, "key": "x"},
+    {"name": "history.commit", "ts": 3.0, "txn": 1, "ident": 1, "tn": 1, "cls": "rw"},
+    {"name": "history.begin", "ts": 4.0, "txn": 2, "cls": "rw"},
+    {"name": "history.read", "ts": 5.0, "txn": 2, "key": "x", "version": 1},
+    {"name": "history.commit", "ts": 6.0, "txn": 2, "ident": 2, "tn": 2, "cls": "rw"},
+]
+
+
+def write_trace(path, events):
+    path.write_text("".join(json.dumps(e) + "\n" for e in events))
+    return str(path)
+
+
+class TestExplainRecord:
+    def test_reads_from_edge_appears_with_kind(self):
+        record = explain_transaction([dict(e) for e in SMALL_TRACE], 2)
+        incoming = record["edges"]["in"]
+        assert any(e["src"] == 1 and e["kind"] == "wr" for e in incoming)
+        assert record["witness"]["serializable"] is True
+
+    def test_render_is_pure_function_of_record(self):
+        record = explain_transaction([dict(e) for e in SMALL_TRACE], 2)
+        assert render_explain(record) == render_explain(json.loads(json.dumps(record)))
+
+
+class TestExplainCLI:
+    def test_json_output_round_trips(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", SMALL_TRACE)
+        assert explain_main([path, "2", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["schema"] == "repro.explain/1"
+        assert record["txn"] == 2
+
+    def test_accepts_t_prefixed_ids(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", SMALL_TRACE)
+        assert explain_main([path, "T2"]) == 0
+        assert "transaction T2" in capsys.readouterr().out
+
+    def test_unknown_txn_exits_1(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", SMALL_TRACE)
+        assert explain_main([path, "42"]) == 1
+        assert "known transactions" in capsys.readouterr().out
+
+    def test_bad_id_and_usage_exit_2(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", SMALL_TRACE)
+        assert explain_main([path, "xyz"]) == 2
+        assert explain_main([path]) == 2
+        assert explain_main([path, "2", "--bogus"]) == 2
+        capsys.readouterr()
+
+    def test_wired_into_module_cli(self, tmp_path, capsys):
+        path = write_trace(tmp_path / "t.jsonl", SMALL_TRACE)
+        assert repro_main.main(["explain", path, "2"]) == 0
+        assert "transaction T2" in capsys.readouterr().out

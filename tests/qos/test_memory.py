@@ -190,6 +190,25 @@ class TestAcceptance:
         assert report.deterministic
         assert report.slo is not None and report.slo["ok"]
 
+    def test_witness_peak_is_duration_independent(self):
+        """The sealing bound, measured: doubling the campaign's run length
+        must not move the certifier's peak tracked state at all — memory
+        tracks the live-transaction window plus per-key frontier constants,
+        never the number of committed transactions."""
+        shorter = run_memory_campaign(
+            seed=0, duration=400.0, verify_determinism=False, slo=False
+        )
+        longer = run_memory_campaign(
+            seed=0, duration=800.0, verify_determinism=False, slo=False
+        )
+        assert shorter.ok and longer.ok
+        assert longer.stats.rw_commits > shorter.stats.rw_commits
+        assert (
+            longer.witness["peak_tracked"] == shorter.witness["peak_tracked"]
+        )
+        assert longer.witness["peak_tracked"] <= longer.witness_bound
+        assert longer.witness["ok"]
+
     def test_report_serializes(self):
         report = run_memory_campaign(
             seed=1, duration=200.0, verify_determinism=False, slo=False

@@ -163,6 +163,71 @@ def _emit_loop(tracer) -> None:
         tracer.emit("txn.commit", txn=i, cls="rw")
 
 
+WITNESS_LIMIT = 1.25  # streaming certifier vs plain JSONL export
+
+
+def _history_loop(tracer, n=N_TXNS) -> None:
+    """A full committed-transaction stream with the watermark chasing the
+    frontier — the shape that keeps the witness sealing continuously."""
+    for i in range(1, n + 1):
+        tracer.emit("history.begin", txn=i, cls="rw")
+        tracer.emit("history.read", txn=i, key=f"k{i % 8}", version=max(0, i - 8))
+        tracer.emit("history.write", txn=i, key=f"k{i % 8}")
+        tracer.emit("history.commit", txn=i, ident=i, tn=i, cls="rw")
+        tracer.emit("vc.advance", number=i, tnc=i + 1, vtnc=i)
+
+
+def test_witness_engine_overhead_within_budget():
+    """The sealing certifier may cost at most ~25% more than JSONL export
+    on a commit-heavy history stream.  Pearce–Kelly insertions that respect
+    the existing order are O(1) and sealing keeps the graph at the frontier,
+    so per-event cost must stay flat — this is what justifies running the
+    witness inside every drill, campaign, and bench by default."""
+    import io
+
+    from repro.obs.exporters import JsonlExporter
+    from repro.obs.tracer import Tracer
+    from repro.obs.witness import WitnessEngine
+
+    ratio = float("inf")
+    for _ in range(ATTEMPTS):
+        jsonl_best = float("inf")
+        witness_best = float("inf")
+        for _ in range(REPEATS):
+            tracer = Tracer(exporters=[JsonlExporter(io.StringIO())])
+            t0 = time.perf_counter()
+            _history_loop(tracer)
+            jsonl_best = min(jsonl_best, time.perf_counter() - t0)
+
+            engine = WitnessEngine(seal=True)
+            tracer = Tracer(exporters=[engine])
+            t0 = time.perf_counter()
+            _history_loop(tracer)
+            engine.finish()
+            assert engine.ok and engine.committed == N_TXNS
+            witness_best = min(witness_best, time.perf_counter() - t0)
+        ratio = witness_best / jsonl_best
+        if ratio < WITNESS_LIMIT:
+            break
+    assert ratio < WITNESS_LIMIT, (
+        f"witness engine costs {ratio:.2f}x the JSONL exporter on a "
+        f"commit-heavy loop (limit {WITNESS_LIMIT:.2f}x)"
+    )
+
+
+def test_witness_memory_stays_at_frontier_during_overhead_loop():
+    """The companion structural fact: the overhead loop's peak tracked
+    state is a small constant, not O(N_TXNS)."""
+    from repro.obs.tracer import Tracer
+    from repro.obs.witness import WitnessEngine
+
+    engine = WitnessEngine(seal=True)
+    tracer = Tracer(exporters=[engine])
+    _history_loop(tracer)
+    engine.finish()
+    assert engine.peak_tracked < 32
+
+
 def test_slo_engine_overhead_within_budget():
     """Watchdogs (engine + flight recorder) may cost at most ~25% more than
     the cheapest useful enabled configuration (JSONL to a string buffer) on
