@@ -21,15 +21,19 @@ Commands:
   replication`` runs the replication drill — WAL-shipped replicas under
   lossy/partitioned shipping with a mid-run primary fail-over, checking
   snapshot consistency, monotone watermarks, and convergence (see
-  ``docs/replication.md``); ``drill --campaign memory`` runs the memory
+  ``docs/replication.md``); ``drill --campaign availability`` runs the
+  self-healing drill — quorum-acknowledged commits, automatic fail-over
+  via heartbeat suspicion votes, lease fencing, and a crash-point sweep
+  proving RPO=0 for acknowledged writes (see ``docs/replication.md``);
+  ``drill --campaign memory`` runs the memory
   campaign — bounded version GC under snapshot leases, watermark-driven
   lease revocation, and ``SnapshotTooOld`` retry loops (see
   ``docs/gc.md``);
 * ``bench [--quick ...]`` — seeded benchmark suites emitting versioned
   ``BENCH_<rev>.json`` artifacts (throughput, latency percentiles, abort
-  rates, critical-path phase shares, plus ``qos`` overload and ``replica``
-  scaling blocks) with a regression comparator for CI (see
-  ``docs/benchmarks.md``);
+  rates, critical-path phase shares, plus ``qos`` overload, ``replica``
+  scaling, and ``replica_sync`` durability-mode blocks) with a regression
+  comparator for CI (see ``docs/benchmarks.md``);
 * ``watch <file.jsonl>`` — replay a recorded trace through the streaming
   SLO watchdogs: tumbling-window objectives, EWMA anomaly baselines,
   hysteresis, and breach-triggered flight-recorder bundles; exits 3 on an

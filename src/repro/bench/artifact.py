@@ -303,6 +303,20 @@ def bench_replica(seed: int) -> dict[str, Any]:
     return block
 
 
+def bench_replica_sync(seed: int) -> dict[str, Any]:
+    """Async vs quorum commit cost → the artifact's ``replica_sync`` block.
+
+    Quantifies the durability trade the replication tier offers: quorum
+    acknowledgement (RPO=0) pays the shipping round trip on commit latency
+    while throughput stays within its floor of async.  Top-level like
+    ``qos`` so the protocol comparator ignores it and older baselines stay
+    comparable; the ``--slo`` CI gate checks its ``ok``.
+    """
+    from repro.replica.bench import run_replica_sync
+
+    return run_replica_sync(seed, duration=150.0)
+
+
 def _gc_scenario(
     *, bounded: bool, pinned: bool, rounds: int = 400, n_keys: int = 8,
     sweep_every: int = 10, pin_at: int = 20,
@@ -423,6 +437,7 @@ def run_suite(
         artifact["protocols"][protocol] = entry
     artifact["qos"] = bench_qos(seed)
     artifact["replica"] = bench_replica(seed)
+    artifact["replica_sync"] = bench_replica_sync(seed)
     artifact["gc"] = bench_gc(seed)
     qos_slo = artifact["qos"].get("slo")
     artifact["slo"] = {
@@ -780,6 +795,11 @@ def main(argv: list[str]) -> int:
     if slo_gate and not artifact.get("gc", {}).get("ok", True):
         print("\nGC REGRESSION: the bounded-GC ablation block failed")
         for message in artifact.get("gc", {}).get("violations", []):
+            print(f"  {message}")
+        return 1
+    if slo_gate and not artifact.get("replica_sync", {}).get("ok", True):
+        print("\nREPLICA SYNC REGRESSION: the async-vs-quorum block failed")
+        for message in artifact.get("replica_sync", {}).get("violations", []):
             print(f"  {message}")
         return 1
     if slo_gate and not artifact.get("witness", {}).get("ok", True):

@@ -54,6 +54,11 @@ class AbortReason(enum.Enum):
     #: and the versions its snapshot needs may since have been reclaimed.
     #: The session must restart on a fresh snapshot — retryable by design.
     SNAPSHOT_TOO_OLD = "snapshot_too_old"
+    #: The replica quorum needed to acknowledge a commit is unreachable —
+    #: the primary's epoch lease lapsed (fenced) or the group ack timed
+    #: out.  Retryable: the cluster heals itself by electing a new primary,
+    #: and the retried attempt lands there.
+    QUORUM_UNAVAILABLE = "quorum_unavailable"
 
 
 #: Abort reasons worth retrying: transient contention or transient
@@ -69,6 +74,7 @@ RETRYABLE_REASONS = frozenset(
         AbortReason.PREPARE_TIMEOUT,
         AbortReason.SITE_UNAVAILABLE,
         AbortReason.SNAPSHOT_TOO_OLD,
+        AbortReason.QUORUM_UNAVAILABLE,
     }
 )
 
@@ -91,6 +97,7 @@ INFRASTRUCTURE_REASONS = frozenset(
         AbortReason.SITE_FAILURE,
         AbortReason.PREPARE_TIMEOUT,
         AbortReason.SITE_UNAVAILABLE,
+        AbortReason.QUORUM_UNAVAILABLE,
     }
 )
 
@@ -224,6 +231,48 @@ MemoryPressureController` revoked the oldest leases so garbage collection
                 "retry on a fresh snapshot"
             )
         super().__init__(txn_id, AbortReason.SNAPSHOT_TOO_OLD, detail)
+
+
+class QuorumUnavailable(TransactionAborted):
+    """A quorum-mode commit could not be acknowledged by a replica majority.
+
+    Two flavours, carried in ``fenced``:
+
+    * ``fenced=True`` — the primary's epoch lease lapsed *before* the
+      commit point, so the transaction was cleanly aborted (no COMMIT
+      record forced).  Nothing was made durable; a retry on the current
+      primary (likely a freshly elected one) is safe and complete.
+    * ``fenced=False`` — the group ack timed out *after* the commit point.
+      The outcome is indeterminate: the commit is durable on the old
+      primary's log and may survive a fail-over, but it was never
+      acknowledged to the session, so quorum mode's RPO=0 promise (no
+      *acknowledged* commit is ever lost) is unaffected.  Idempotent
+      retries are the caller's contract, exactly as with any distributed
+      commit timeout.
+
+    Always retryable (:data:`RETRYABLE_REASONS`) and classified as
+    infrastructure (:data:`INFRASTRUCTURE_REASONS`): the quorum being out
+    of reach is a site/network condition, and circuit breakers should see
+    it.  Sessions degrade rather than block — read-only snapshots keep
+    serving from replicas while writes fail fast with this error.
+    """
+
+    def __init__(
+        self,
+        txn_id: int,
+        epoch: int | None = None,
+        fenced: bool = False,
+        detail: str = "",
+    ):
+        self.epoch = epoch
+        self.fenced = fenced
+        if not detail:
+            detail = (
+                f"primary lease for epoch {epoch} lapsed; commit refused (fenced)"
+                if fenced
+                else f"quorum ack timed out in epoch {epoch}; outcome indeterminate"
+            )
+        super().__init__(txn_id, AbortReason.QUORUM_UNAVAILABLE, detail)
 
 
 class VersionNotFound(ReproError):

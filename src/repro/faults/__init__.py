@@ -13,7 +13,7 @@ See ``docs/faults.md`` for the fault taxonomy and the seed-replay workflow.
 
 from repro.faults.courier import FaultyCourier, RetryPolicy
 from repro.faults.drill import DrillReport, run_campaign, run_drill
-from repro.faults.invariants import FaultInvariantChecker
+from repro.faults.invariants import ClusterInvariantChecker, FaultInvariantChecker
 from repro.faults.schedule import (
     DEFAULT_SPEC,
     FaultCounts,
@@ -28,6 +28,7 @@ __all__ = [
     "DrillReport",
     "FaultCounts",
     "FaultDecision",
+    "ClusterInvariantChecker",
     "FaultInvariantChecker",
     "FaultSchedule",
     "FaultSpec",

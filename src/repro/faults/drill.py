@@ -298,7 +298,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--campaign",
-        choices=("faults", "overload", "replication", "memory"),
+        choices=("faults", "overload", "replication", "memory", "availability"),
         default="faults",
         help="faults: network faults + crashes over the distributed "
         "protocols; overload: QoS overload campaign (admission shedding, "
@@ -307,7 +307,9 @@ def main(argv: list[str] | None = None) -> int:
         "shipping with a primary fail-over — see repro.replica.campaign; "
         "memory: bounded-GC memory-pressure campaign (snapshot leases, "
         "oldest-first revocation, SnapshotTooOld retries) — see "
-        "repro.qos.memory",
+        "repro.qos.memory; availability: quorum-mode self-healing drill "
+        "(partition the primary, automatic fail-over, RPO=0, split-brain "
+        "fencing, crash-point sweep) — see repro.replica.availability",
     )
     parser.add_argument(
         "--policy",
@@ -341,6 +343,14 @@ def main(argv: list[str] | None = None) -> int:
         "--no-promote",
         action="store_true",
         help="skip the mid-run primary fail-over (replication campaign only)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("async", "quorum"),
+        default="async",
+        help="replication durability mode (replication campaign only): "
+        "async acknowledges at the local force (RPO = lag), quorum at "
+        "majority durability (RPO = 0)",
     )
     parser.add_argument(
         "--drop", type=float, default=DEFAULT_SPEC.drop, help="drop probability"
@@ -393,6 +403,8 @@ def main(argv: list[str] | None = None) -> int:
         return _replication_main(args)
     if args.campaign == "memory":
         return _memory_main(args)
+    if args.campaign == "availability":
+        return _availability_main(args)
 
     protocols = PROTOCOLS if args.protocol == "both" else (args.protocol,)
     spec = FaultSpec(
@@ -577,8 +589,8 @@ def _replication_main(args: argparse.Namespace) -> int:
     promote = not args.no_promote
     print(
         f"replication campaign: seeds={args.seeds} replicas={args.replicas} "
-        f"duration={args.duration} spec=(drop={spec.drop}, dup={spec.duplicate}, "
-        f"spike={spec.delay_spike}) promote={promote}"
+        f"duration={args.duration} mode={args.mode} spec=(drop={spec.drop}, "
+        f"dup={spec.duplicate}, spike={spec.delay_spike}) promote={promote}"
     )
     failed = []
     for offset in range(args.seeds):
@@ -588,6 +600,7 @@ def _replication_main(args: argparse.Namespace) -> int:
             duration=args.duration,
             n_replicas=args.replicas,
             spec=spec,
+            mode=args.mode,
             promote=promote,
         )
         if not report.ok:
@@ -601,6 +614,7 @@ def _replication_main(args: argparse.Namespace) -> int:
                 f"lag_max={phase.max_lag_txns:<3d} "
                 f"redirects={phase.ro_redirects:<4d} "
                 f"promoted=r{phase.promoted_replica or '-'} "
+                f"rpo={phase.rpo_txns if phase.rpo_txns is not None else '-'} "
                 f"drops={report.faults.get('drops', 0):<3d} "
                 f"parked={report.faults.get('partition_deferrals', 0)}"
                 + (
@@ -618,6 +632,63 @@ def _replication_main(args: argparse.Namespace) -> int:
             print(f"  wedged process: {name}", file=sys.stderr)
         print(
             f"  replay: python -m repro drill --campaign replication "
+            f"--seeds 1 --seed-base {report.seed} --replicas {args.replicas} "
+            f"--mode {args.mode}",
+            file=sys.stderr,
+        )
+    return 1 if failed else 0
+
+
+def _availability_main(args: argparse.Namespace) -> int:
+    """``python -m repro drill --campaign availability`` — self-healing drill."""
+    from repro.replica.availability import run_availability_campaign
+
+    print(
+        f"availability campaign: seeds={args.seeds} replicas={args.replicas} "
+        f"duration={args.duration} mode=quorum (partition -> automatic "
+        f"fail-over + crash-point sweep)"
+    )
+    failed = []
+    for offset in range(args.seeds):
+        seed = args.seed_base + offset
+        report = run_availability_campaign(
+            seed, duration=args.duration, n_replicas=args.replicas
+        )
+        if not report.ok:
+            failed.append(report)
+        if not args.quiet:
+            verdict = "ok" if report.ok else "FAIL"
+            phase = report.phase
+            outage = max(phase.outages) if phase.outages else 0.0
+            crash_ok = sum(1 for p in report.crash_points if p.ok)
+            print(
+                f"  seed={seed:<4d} {verdict:4s} "
+                f"rw={phase.rw_commits:<4d} post={phase.rw_commits_post:<3d} "
+                f"ro={phase.ro_commits:<5d} "
+                f"rpo={phase.rpo_txns if phase.rpo_txns is not None else '-'} "
+                f"outage={outage:<6.2f} fenced={phase.fenced:<2d} "
+                f"split={'fenced' if phase.split_brain_fenced else 'FAIL'} "
+                f"crash={crash_ok}/{len(report.crash_points)}"
+                + (
+                    f" slo={'ok' if report.slo['ok'] else 'BREACH'}"
+                    if report.slo is not None
+                    else ""
+                )
+                + (
+                    f" witness={'1SR' if report.witness['ok'] else 'FAIL'}"
+                    if report.witness is not None
+                    else ""
+                )
+            )
+    print(f"{args.seeds} campaigns, {len(failed)} failed")
+    for report in failed:
+        print(f"FAILED seed={report.seed}:", file=sys.stderr)
+        for violation in report.violations:
+            print(f"  violation: {violation}", file=sys.stderr)
+        for name in report.phase.wedged:
+            print(f"  wedged process: {name}", file=sys.stderr)
+        print(
+            f"  replay: python -m repro drill --campaign availability "
             f"--seeds 1 --seed-base {report.seed} --replicas {args.replicas}",
             file=sys.stderr,
         )

@@ -152,3 +152,130 @@ class FaultInvariantChecker:
                 f"{len(self.violations)} fault-drill invariant violation(s): "
                 + "; ".join(self.violations)
             )
+
+
+class ClusterInvariantChecker:
+    """Replication-tier invariants over a :class:`~repro.replica.cluster.
+    ReplicaCluster` (async or quorum mode), mirroring the distributed
+    checker's surface: cheap :meth:`snapshot` calls mid-run, one
+    :meth:`check_final` after the network drains, violations as strings.
+
+    What it asserts:
+
+    * **watermark monotonicity** — a replica's ``vtnc`` never decreases,
+      and never exceeds the primary's assigned-tn frontier (``tnc``);
+    * **primary visibility ordering** — ``vtnc <= tnc`` on the primary
+      (Figure 1's ordering, surviving promotions);
+    * **prefix property** — every replica's applied log is record-for-
+      record a prefix of the current primary's durable log (what makes
+      promotion-by-recovery sound);
+    * **no duplicate commit numbers** — each ``tn`` appears on at most one
+      COMMIT record in the primary's durable log (a fenced deposed primary
+      must not have smuggled a second history for a number);
+    * **acknowledged durability (RPO)** — every ``tn`` recorded via
+      :meth:`note_ack` (a commit whose future *resolved*) appears as a
+      COMMIT record in the current primary's durable log, across any
+      number of fail-overs.  In quorum mode this is the RPO=0 proof; in
+      async mode callers only note acks that survived, so it degenerates
+      to a convergence check.
+    """
+
+    def __init__(self, cluster: Any):
+        self.cluster = cluster
+        self.violations: list[str] = []
+        #: Commit numbers acknowledged to a session (futures that resolved).
+        self.acked_tns: set[int] = set()
+        self._watermarks: dict[int, int] = {}
+
+    def note_ack(self, tn: int | None) -> None:
+        if tn is not None:
+            self.acked_tns.add(tn)
+
+    # -- incremental checks -----------------------------------------------------------
+
+    def snapshot(self) -> None:
+        """Cheap mid-run check: watermark monotonicity and ordering."""
+        cluster = self.cluster
+        vc = cluster.primary.vc
+        if vc.vtnc > vc.tnc:
+            self.violations.append(
+                f"primary visibility {vc.vtnc} above assigned frontier {vc.tnc}"
+            )
+        for rid, replica in cluster.replicas.items():
+            prev = self._watermarks.get(rid, 0)
+            if replica.vtnc < prev:
+                self.violations.append(
+                    f"replica {rid} watermark regressed {prev} -> {replica.vtnc}"
+                )
+            self._watermarks[rid] = replica.vtnc
+            if replica.vtnc > vc.tnc:
+                self.violations.append(
+                    f"replica {rid} watermark {replica.vtnc} above the "
+                    f"primary's assigned frontier {vc.tnc}"
+                )
+        for rid in list(self._watermarks):
+            if rid not in cluster.replicas:
+                del self._watermarks[rid]  # promoted out of the replica set
+
+    # -- final checks -------------------------------------------------------------------
+
+    def _committed_tns(self) -> list[int]:
+        from repro.storage.wal import RecordKind
+
+        return [
+            record.tn
+            for record in self.cluster.log.durable_records()
+            if record.kind is RecordKind.COMMIT and record.tn is not None
+        ]
+
+    def check_prefixes(self) -> None:
+        primary_records = self.cluster.log.durable_records()
+        for rid, replica in self.cluster.replicas.items():
+            applied = replica.log.durable_records()
+            if applied != primary_records[: len(applied)]:
+                self.violations.append(
+                    f"replica {rid} applied log is not a prefix of the "
+                    f"primary's durable log"
+                )
+
+    def check_no_acked_commit_loss(self) -> None:
+        committed = set(self._committed_tns())
+        lost = sorted(tn for tn in self.acked_tns if tn not in committed)
+        if lost:
+            self.violations.append(
+                f"{len(lost)} acknowledged commit(s) missing from the "
+                f"primary's durable log: tns {lost[:8]}"
+            )
+
+    def check_unique_commit_numbers(self) -> None:
+        tns = self._committed_tns()
+        seen: set[int] = set()
+        dupes: set[int] = set()
+        for tn in tns:
+            if tn in seen:
+                dupes.add(tn)
+            seen.add(tn)
+        if dupes:
+            self.violations.append(
+                f"duplicate commit numbers in the primary log: {sorted(dupes)[:8]}"
+            )
+
+    def check_final(self) -> None:
+        """Full end-of-drill check (call after shipping has drained)."""
+        self.snapshot()
+        self.check_prefixes()
+        self.check_unique_commit_numbers()
+        self.check_no_acked_commit_loss()
+
+    # -- verdict ---------------------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def assert_ok(self) -> None:
+        if self.violations:
+            raise InvariantViolation(
+                f"{len(self.violations)} cluster invariant violation(s): "
+                + "; ".join(self.violations)
+            )

@@ -140,6 +140,11 @@ def attach_tracer(scheduler: Any, tracer: Tracer) -> Instrumentation:
         if primary is not None and primary is not scheduler:
             _attach_one(primary, handle)
         handle._set_tracer(getattr(cluster, "shipper", None))
+        # Quorum mode: the gate (quorum.advance / quorum.lease /
+        # quorum.fenced) and the failure-detection supervisor
+        # (detect.suspect / detect.vote / detect.failover).
+        handle._set_tracer(getattr(cluster, "gate", None))
+        handle._set_tracer(getattr(cluster, "supervisor", None))
         replicas = getattr(cluster, "replicas", None)
         if isinstance(replicas, dict):
             for replica in replicas.values():

@@ -22,6 +22,7 @@ from repro.obs.slo.objectives import (
     RatioObjective,
     WindowVerdict,
     ZeroObjective,
+    availability_objectives,
     bench_objectives,
     default_objectives,
     faults_objectives,
@@ -47,6 +48,7 @@ __all__ = [
     "WindowStats",
     "WindowVerdict",
     "ZeroObjective",
+    "availability_objectives",
     "bench_objectives",
     "default_objectives",
     "faults_objectives",

@@ -30,6 +30,10 @@ signal             derivation
                    the gauges and cost counters on every ``gc.sweep``
 ``snapshot.revoked``  each ``snapshot.revoked`` (lease revocation under
                    memory pressure or TTL expiry — expected under drills)
+``avail.outage``   the ``duration`` of every ``avail.outage`` (a write-
+                   availability prober's measured unavailability window)
+``quorum.fenced`` / ``quorum.indeterminate``
+                   1 per fenced / quorum-timeout commit (quorum mode)
 =================  ==============================================================
 
 **Windows.**  Virtual time is chopped into tumbling windows of width
@@ -233,6 +237,14 @@ class SLOEngine:
                 self._signal("gc.interior", interior)
         elif name == "snapshot.revoked":
             self._signal("snapshot.revoked", 1.0)
+        elif name == "avail.outage":
+            duration = fields.get("duration")
+            if duration is not None:
+                self._signal("avail.outage", duration)
+        elif name == "quorum.fenced":
+            self._signal("quorum.fenced", 1.0)
+        elif name == "quorum.indeterminate":
+            self._signal("quorum.indeterminate", 1.0)
         extra = self._extra.get(name)
         if extra is not None:
             value = fields.get(extra[0])

@@ -529,8 +529,46 @@ def memory_objectives(*, live_versions_bound: float | None = None) -> list[Objec
     return objectives
 
 
+def availability_objectives(*, max_outage: float = 30.0) -> list[Objective]:
+    """The availability drill's online verdicts (``repro.replica.availability``).
+
+    ``write_outage`` is the headline: the campaign's prober measures each
+    write-unavailability window (first failed probe to the next success,
+    spanning lease lapse, election, and automatic promotion) and emits it
+    as one ``avail.outage`` event — the window must close within
+    ``max_outage`` of virtual time.  Fenced and indeterminate commits are
+    the degradation machinery *working* (the lease lapsed, so the primary
+    refuses instead of double-acknowledging); they are recorded, not
+    failed.  ``ro_blocking`` stays a hard promise: read-only service keeps
+    running off replicas straight through the fail-over.
+    """
+    return [
+        ZeroObjective(
+            "ro_blocking", "blocked.ro",
+            description="read-only transactions never block, even mid "
+            "fail-over (Figure 2, served off-primary)",
+        ),
+        MaxObjective(
+            "write_outage", "avail.outage", ceiling=float(max_outage),
+            description="write-unavailability window across an automatic "
+            "fail-over (lease lapse + election + promotion)",
+        ),
+        ZeroObjective(
+            "quorum_fenced", "quorum.fenced", expected=True,
+            description="commits refused by a lapsed lease: anticipated "
+            "fencing during the induced partition",
+        ),
+        ZeroObjective(
+            "quorum_indeterminate", "quorum.indeterminate", expected=True,
+            description="commits whose quorum ack timed out: anticipated "
+            "on the partitioned primary",
+        ),
+    ]
+
+
 PROFILES = {
     "default": lambda: default_objectives(),
     "faults": lambda: faults_objectives(),
     "memory": lambda: memory_objectives(),
+    "availability": lambda: availability_objectives(),
 }

@@ -20,8 +20,9 @@ from typing import Any
 
 from repro.core.futures import OpFuture
 from repro.distributed.courier import Courier
-from repro.errors import TransactionAborted
+from repro.errors import ProtocolError, TransactionAborted
 from repro.replica.cluster import ReplicaCluster
+from repro.replica.quorum import ReplicationMode
 from repro.sim.engine import Simulator
 from repro.sim.random_streams import RandomStreams
 
@@ -29,6 +30,13 @@ from repro.sim.random_streams import RandomStreams
 RO_SPEEDUP_FLOOR = 2.0
 #: RW throughput at 4 replicas must stay within this factor of 1 replica.
 RW_TOLERANCE = 0.15
+#: Quorum commit latency must exceed async by at least the shipping round
+#: trip (async acknowledges locally; quorum waits for a majority ack).
+QUORUM_LATENCY_FLOOR = 1.0
+#: Quorum RW throughput floor relative to async under an open-loop-ish
+#: writer population: the round trip adds latency but pipelines, so
+#: throughput must not collapse.
+QUORUM_THROUGHPUT_FLOOR = 0.4
 
 
 class _ReadServer:
@@ -192,6 +200,149 @@ def run_replica_scaling(
         "scaling": {str(n): points[n] for n in replica_counts},
         "ro_speedup": round(speedup, 4),
         "rw_ratio": round(rw_ratio, 4),
+        "ok": not violations,
+        "violations": violations,
+    }
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(int(q * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+def _run_sync_point(
+    seed: int,
+    mode: ReplicationMode,
+    *,
+    duration: float,
+    writers: int,
+    n_replicas: int,
+    latency: float,
+    n_keys: int = 8,
+) -> dict[str, Any]:
+    """One mode's RW cost: commit latency distribution and throughput.
+
+    Same seed and workload for both modes, so the only difference between
+    the two points is where the acknowledgement happens: the local
+    ``force()`` (async) or the majority ship ack (quorum).
+    """
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    cluster = ReplicaCluster(
+        n_replicas=n_replicas,
+        courier=Courier(sim=sim, latency=latency),
+        checked=False,
+        mode=mode,
+    )
+    keys = [f"k{i}" for i in range(n_keys)]
+    tallies = {"rw_commits": 0, "rw_aborts": 0}
+    latencies: list[float] = []
+
+    def writer(i: int):
+        rng = streams.stream(f"bench.sync-writer-{i}")
+        db = cluster.primary
+        while sim.now < duration:
+            yield rng.expovariate(1.0)
+            if sim.now >= duration:
+                return
+            txn = db.begin()
+            try:
+                for key in rng.sample(keys, 2):
+                    yield rng.expovariate(2.0)
+                    value = yield db.read(txn, key)
+                    yield db.write(txn, key, (value or 0) + 1)
+                submitted = sim.now
+                yield db.commit(txn)
+                latencies.append(sim.now - submitted)
+                tallies["rw_commits"] += 1
+            except (TransactionAborted, ProtocolError):
+                if txn.is_active:
+                    db.abort(txn)
+                tallies["rw_aborts"] += 1
+
+    for i in range(writers):
+        sim.spawn(writer(i), name=f"writer-{i}")
+    sim.run()
+
+    latencies.sort()
+    return {
+        "mode": mode.value,
+        "rw_commits_per_s": round(tallies["rw_commits"] / duration, 4),
+        "rw_aborts": tallies["rw_aborts"],
+        "commit_p50": round(_percentile(latencies, 0.50), 4),
+        "commit_p95": round(_percentile(latencies, 0.95), 4),
+        "quorum_indeterminate": cluster.counters.get("quorum.indeterminate"),
+        "quorum_fenced": cluster.counters.get("quorum.fenced"),
+        "events": sim.events_dispatched,
+    }
+
+
+def run_replica_sync(
+    seed: int = 0,
+    *,
+    duration: float = 200.0,
+    writers: int = 6,
+    n_replicas: int = 3,
+    latency: float = 0.5,
+) -> dict[str, Any]:
+    """Async vs quorum RW cost under an identical workload; returns the block.
+
+    The durability trade, quantified: quorum acknowledgement buys RPO=0 at
+    the price of one shipping round trip per commit (≥ ``2 * latency``) on
+    the acknowledgement path, while throughput — the pipeline is not
+    stalled, commits overlap — must stay within
+    :data:`QUORUM_THROUGHPUT_FLOOR` of async.  A clean network, so quorum
+    mode must neither fence nor time out a single commit.
+    """
+    points = {
+        mode.value: _run_sync_point(
+            seed,
+            mode,
+            duration=duration,
+            writers=writers,
+            n_replicas=n_replicas,
+            latency=latency,
+        )
+        for mode in (ReplicationMode.ASYNC, ReplicationMode.QUORUM)
+    }
+    async_point, quorum_point = points["async"], points["quorum"]
+    latency_delta = quorum_point["commit_p50"] - async_point["commit_p50"]
+    throughput_ratio = (
+        quorum_point["rw_commits_per_s"] / async_point["rw_commits_per_s"]
+        if async_point["rw_commits_per_s"]
+        else 0.0
+    )
+    violations = []
+    if not async_point["rw_commits_per_s"] or not quorum_point["rw_commits_per_s"]:
+        violations.append("a sync point ran dry: no commits measured")
+    min_delta = QUORUM_LATENCY_FLOOR * 2 * latency
+    if latency_delta < min_delta:
+        violations.append(
+            f"quorum commit p50 only {latency_delta:.3f} above async "
+            f"(expected >= the {min_delta:.3f} shipping round trip)"
+        )
+    if throughput_ratio < QUORUM_THROUGHPUT_FLOOR:
+        violations.append(
+            f"quorum RW throughput {throughput_ratio:.2f}x of async, below "
+            f"the {QUORUM_THROUGHPUT_FLOOR}x floor"
+        )
+    if quorum_point["quorum_indeterminate"] or quorum_point["quorum_fenced"]:
+        violations.append(
+            f"quorum mode degraded on a clean network: "
+            f"{quorum_point['quorum_indeterminate']} indeterminate, "
+            f"{quorum_point['quorum_fenced']} fenced"
+        )
+    return {
+        "seed": seed,
+        "duration": duration,
+        "writers": writers,
+        "n_replicas": n_replicas,
+        "latency": latency,
+        "modes": points,
+        "commit_p50_delta": round(latency_delta, 4),
+        "quorum_throughput_ratio": round(throughput_ratio, 4),
         "ok": not violations,
         "violations": violations,
     }

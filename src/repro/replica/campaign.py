@@ -38,6 +38,7 @@ from repro.faults.courier import FaultyCourier, RetryPolicy
 from repro.faults.schedule import FaultSchedule, FaultSpec, PartitionWindow
 from repro.obs.pipeline import ObsPipeline
 from repro.replica.cluster import ReplicaCluster
+from repro.replica.quorum import ReplicationMode
 from repro.replica.session import ReplicatedDatabase
 from repro.sim.engine import Simulator
 from repro.sim.random_streams import RandomStreams
@@ -64,6 +65,13 @@ class ReplicationPhase:
     max_lag_txns: int = 0
     staleness: Summary = field(default_factory=Summary)
     promoted_replica: int | None = None
+    #: Transactions acknowledged to a session but absent from the promoted
+    #: primary at fail-over — the measured RPO.  None until a promotion
+    #: happens.  Async mode loses exactly the replication lag; quorum mode
+    #: must measure 0 (its acknowledged commits are majority-durable).
+    rpo_txns: int | None = None
+    #: Watermark lag ``old_vtnc - promoted_vtnc`` at the fail-over moment.
+    failover_lag_txns: int | None = None
     events_dispatched: int = 0
     final_vtncs: tuple = ()
     primary_vtnc: int = 0
@@ -87,6 +95,8 @@ class ReplicationPhase:
             self.final_vtncs,
             self.primary_vtnc,
             self.store_fingerprint,
+            self.rpo_txns,
+            self.failover_lag_txns,
         )
 
 
@@ -101,6 +111,7 @@ class ReplicationReport:
     readers: int
     promote: bool
     phase: ReplicationPhase
+    mode: str = "async"
     faults: dict[str, int] = field(default_factory=dict)
     messages: int = 0
     deterministic: bool = True
@@ -124,6 +135,9 @@ class ReplicationReport:
             "writers": self.writers,
             "readers": self.readers,
             "promote": self.promote,
+            "mode": self.mode,
+            "rpo_txns": self.phase.rpo_txns,
+            "failover_lag_txns": self.phase.failover_lag_txns,
             "rw_commits": self.phase.rw_commits,
             "rw_aborts": self.phase.rw_aborts,
             "ro_commits": self.phase.ro_commits,
@@ -201,6 +215,7 @@ def _run_phase(
     max_staleness: int,
     promote_at: float | None,
     n_keys: int = 8,
+    mode: str = "async",
     engine: Any | None = None,
     witness: Any | None = None,
 ) -> ReplicationPhase:
@@ -227,7 +242,9 @@ def _run_phase(
         sim=sim,
         latency=lambda: latency_rng.expovariate(2.0),
     )
-    cluster = ReplicaCluster(n_replicas=n_replicas, courier=courier, checked=True)
+    cluster = ReplicaCluster(
+        n_replicas=n_replicas, courier=courier, checked=True, mode=mode
+    )
     pipeline = (
         ObsPipeline(sim=sim, engine=engine, witness=witness)
         if engine is not None or witness is not None
@@ -242,9 +259,21 @@ def _run_phase(
     stats = ReplicationPhase()
     keys = [f"k{i}" for i in range(n_keys)]
     last_vtnc: dict[int, int] = {rid: 0 for rid in cluster.replicas}
+    #: Transaction numbers whose commit future resolved successfully — the
+    #: set the durability promise is *about*.  In async mode resolution is
+    #: the local force; in quorum mode it is the majority ack.
+    acked_tns: set[int] = set()
 
     def check_watermarks() -> None:
+        # In quorum mode the primary defers its own visibility advance
+        # (vc_complete) until the majority ack, so a replica that already
+        # applied the shipped COMMIT record legitimately sits above the
+        # primary's vtnc for a beat; the ceiling there is the assigned-tn
+        # frontier (every shipped COMMIT carries a registered tn <= tnc).
         primary_vtnc = cluster.primary.vc.vtnc
+        ceiling = (
+            primary_vtnc if mode == "async" else cluster.primary.vc.tnc
+        )
         for rid, replica in cluster.replicas.items():
             prev = last_vtnc.get(rid, 0)
             if replica.vtnc < prev:
@@ -252,10 +281,10 @@ def _run_phase(
                     f"replica {rid} watermark regressed {prev} -> {replica.vtnc}"
                 )
             last_vtnc[rid] = replica.vtnc
-            if replica.vtnc > primary_vtnc:
+            if replica.vtnc > ceiling:
                 stats.violations.append(
                     f"replica {rid} watermark {replica.vtnc} above primary "
-                    f"{primary_vtnc}"
+                    f"frontier {ceiling}"
                 )
             lag = cluster.lag_txns(replica)
             if lag > stats.max_lag_txns:
@@ -283,7 +312,19 @@ def _run_phase(
                     yield rng.expovariate(2.0)  # service time
                     value = yield db.read(txn, key)
                     yield db.write(txn, key, (value or 0) + 1)
-                yield db.commit(txn)
+                done = db.commit(txn)
+                # Record the ack at *resolution* time (synchronous with the
+                # force in async mode, with the majority ack in quorum
+                # mode), not at the generator's next resumption — so a
+                # fail-over landing between the two cannot undercount.
+                done.add_callback(
+                    lambda f, txn=txn: (
+                        acked_tns.add(txn.tn)
+                        if not f.failed and txn.tn is not None
+                        else None
+                    )
+                )
+                yield done
                 stats.rw_commits += 1
             except (TransactionAborted, ProtocolError):
                 # Deadlock victim, or the primary failed over while this
@@ -328,6 +369,12 @@ def _run_phase(
         yield promote_at
         promoted = cluster.fail_over()
         stats.promoted_replica = promoted.replica_id
+        # The measured RPO: commits acknowledged to a session whose tn the
+        # promoted primary does not cover.  (Post-promotion tns restart
+        # above promoted_vtnc, so this is computed exactly once, here.)
+        promoted_vtnc = cluster.last_failover["promoted_vtnc"]
+        stats.rpo_txns = sum(1 for tn in acked_tns if tn > promoted_vtnc)
+        stats.failover_lag_txns = cluster.last_failover["lag_txns"]
         if pipeline is not None:
             # fail_over() built a fresh primary and shipper; re-attach so
             # post-promotion events keep flowing to the watchdogs.
@@ -395,6 +442,7 @@ def run_replication_campaign(
     readers: int = 6,
     max_staleness: int = 8,
     spec: FaultSpec | None = None,
+    mode: "ReplicationMode | str" = "async",
     promote: bool = True,
     verify_determinism: bool = True,
     slo: bool = True,
@@ -426,6 +474,7 @@ def run_replication_campaign(
     from repro.obs.witness import WitnessEngine
 
     spec = spec if spec is not None else REPLICATION_SPEC
+    mode = ReplicationMode(mode).value
 
     def make_engine() -> Any:
         from repro.obs.slo import FlightRecorder, SLOEngine, replication_objectives
@@ -443,6 +492,7 @@ def run_replication_campaign(
         readers=readers,
         spec=spec,
         max_staleness=max_staleness,
+        mode=mode,
         promote_at=0.55 * duration if promote else None,
     )
     engine = make_engine() if slo else None
@@ -469,6 +519,7 @@ def run_replication_campaign(
         readers=readers,
         promote=promote,
         phase=phase,
+        mode=mode,
         faults=dict(phase.faults),
         messages=phase.messages,
         deterministic=deterministic,
@@ -480,6 +531,26 @@ def run_replication_campaign(
         report.violations.append("no read-only commits: replica path inert")
     if promote and phase.promoted_replica is None:
         report.violations.append("promotion did not happen")
+    if promote and phase.promoted_replica is not None:
+        # The durability promise, stated as data.  Quorum mode acknowledges
+        # only majority-durable commits, so a fail-over may lose *nothing*
+        # that was acknowledged (RPO=0).  Async mode acknowledges at the
+        # local force, so what it loses is exactly the replication lag.
+        if phase.rpo_txns is None:
+            report.violations.append("promotion happened but RPO not measured")
+        elif mode == ReplicationMode.QUORUM.value and phase.rpo_txns != 0:
+            report.violations.append(
+                f"quorum mode lost {phase.rpo_txns} acknowledged commits "
+                "at fail-over (RPO must be 0)"
+            )
+        elif (
+            mode == ReplicationMode.ASYNC.value
+            and phase.rpo_txns != phase.failover_lag_txns
+        ):
+            report.violations.append(
+                f"async RPO {phase.rpo_txns} != measured replication lag "
+                f"{phase.failover_lag_txns} at fail-over"
+            )
     if not deterministic:
         report.violations.append("campaign not deterministic under fixed seed")
     if engine is not None:

@@ -16,9 +16,11 @@ those by construction:
 * segments carry ``(epoch, start_offset, records)`` — a replica applies
   idempotently from its own applied offset, buffers out-of-order arrivals,
   and ignores segments from a deposed primary's epoch;
-* acks carry ``(epoch, applied_offset, vtnc)`` — lost acks merely leave the
-  shipper's view stale, and the next force re-ships from the stale offset
-  (duplicate application is free);
+* acks carry ``(epoch, applied_offset, vtnc)`` — the epoch is the
+  *replica's* current epoch at ack time, not the segment's, so a deposed
+  primary cannot count acks to its stale segments as live quorum contact;
+  lost acks merely leave the shipper's view stale, and the next force
+  re-ships from the stale offset (duplicate application is free);
 * :meth:`LogShipper.catch_up` re-ships everything past the acknowledged
   offset, healing a partition or resubscribing a recovered replica.
 """
@@ -43,24 +45,33 @@ class ShippedLog(WriteAheadLog):
 
     def __init__(self) -> None:
         super().__init__()
-        self._on_force: list[Callable[[], None]] = []
+        self._on_force: dict[int, Callable[[], None]] = {}
+        self._next_token = 0
 
-    def subscribe_force(self, fn: Callable[[], None]) -> None:
-        self._on_force.append(fn)
+    def subscribe_force(self, fn: Callable[[], None]) -> int:
+        """Subscribe ``fn`` to durable-boundary movement; returns a token.
 
-    def unsubscribe_force(self, fn: Callable[[], None]) -> None:
-        # Equality, not identity: each `obj.method` access builds a fresh
-        # bound-method object, and subscribers are usually bound methods.
-        self._on_force = [cb for cb in self._on_force if cb != fn]
+        Tokens, not callback equality, identify subscriptions: two
+        subscriptions of the same bound method (``==`` but not ``is``)
+        stay independent, so unsubscribing one cannot deregister the
+        other.
+        """
+        token = self._next_token
+        self._next_token += 1
+        self._on_force[token] = fn
+        return token
+
+    def unsubscribe_force(self, token: int) -> None:
+        self._on_force.pop(token, None)
 
     def force(self) -> None:
         super().force()
-        for fn in list(self._on_force):
+        for fn in list(self._on_force.values()):
             fn()
 
     def partial_force(self, records: int, tear_last: bool = True) -> int:
         made = super().partial_force(records, tear_last)
-        for fn in list(self._on_force):
+        for fn in list(self._on_force.values()):
             fn()
         return made
 
@@ -91,6 +102,10 @@ class LogShipper:
         self.segments_shipped = 0
         self.records_shipped = 0
         self.acks_received = 0
+        #: Observers called as ``fn(rid, applied_offset, vtnc)`` after every
+        #: accepted (current-epoch) ack — the quorum gate subscribes here to
+        #: advance the group-acknowledged frontier and renew the lease.
+        self.ack_watchers: list[Callable[[int, int, int], None]] = []
 
     # -- subscription -----------------------------------------------------------
 
@@ -169,9 +184,15 @@ class LogShipper:
 
         def deliver(records=records, offset=offset, epoch=epoch, rid=rid) -> None:
             applied_offset, vtnc = replica.receive_segment(epoch, offset, records)
+            # The ack is stamped with the replica's epoch *now*, after the
+            # segment was (or was not) applied.  If the replica has moved to
+            # a newer epoch, a deposed primary's shipper sees a mismatched
+            # ack and drops it — its lease cannot be renewed by acks to
+            # segments the replica already discarded.
+            ack_epoch = replica.epoch
 
             def ack() -> None:
-                self.on_ack(rid, epoch, applied_offset, vtnc)
+                self.on_ack(rid, ack_epoch, applied_offset, vtnc)
 
             self.courier.dispatch(ack, channel=f"ack.{rid}")
 
@@ -195,6 +216,8 @@ class LogShipper:
                 vtnc=vtnc,
                 lag_records=self.lag_records(rid),
             )
+        for watcher in list(self.ack_watchers):
+            watcher(rid, applied_offset, vtnc)
 
     # -- lag metrics -------------------------------------------------------------
 

@@ -1,0 +1,88 @@
+"""Availability drill: automatic fail-over, RPO=0, crash-point sweep."""
+
+import json
+
+import pytest
+
+from repro.replica.availability import (
+    CRASH_POINTS,
+    _run_crash_point,
+    run_availability_campaign,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    # One full campaign shared by the assertions below; determinism stays
+    # on so the double-run comparison is exercised in the unit suite too.
+    return run_availability_campaign(seed=0, duration=120.0)
+
+
+class TestAvailabilityCampaign:
+    def test_campaign_passes(self, report):
+        assert report.ok, report.violations
+        assert not report.phase.wedged
+
+    def test_deterministic_under_fixed_seed(self, report):
+        assert report.deterministic
+
+    def test_failover_is_automatic_and_loses_nothing(self, report):
+        phase = report.phase
+        assert phase.auto_promotions == 1
+        assert phase.rpo_txns == 0, "an acknowledged commit vanished"
+        assert phase.rw_commits_post > 0, "writes never resumed"
+        assert phase.epoch == 1
+
+    def test_outage_window_is_measured_and_bounded(self, report):
+        assert report.phase.outages
+        assert max(report.phase.outages) <= report.max_outage
+
+    def test_split_brain_is_fenced(self, report):
+        assert report.phase.split_brain_fenced is True
+        assert report.phase.stale_segments > 0, (
+            "the deposed primary's segments never hit the epoch guard"
+        )
+
+    def test_slo_and_witness_ride_along(self, report):
+        assert report.slo is not None
+        assert report.witness is not None
+        assert not report.witness.get("duplicate_commits")
+
+    def test_as_dict_is_json_serializable(self, report):
+        payload = report.as_dict()
+        round_trip = json.loads(json.dumps(payload))
+        assert round_trip["ok"] is True
+        assert round_trip["rpo_txns"] == 0
+        assert len(round_trip["crash_points"]) == len(CRASH_POINTS)
+
+
+class TestCrashPointSweep:
+    @pytest.mark.parametrize("point", CRASH_POINTS)
+    def test_no_acknowledged_write_is_lost(self, point):
+        result = _run_crash_point(point)
+        assert result.ok
+        assert result.lost_acked == 0
+        assert result.recovered, "the healed cluster stopped committing"
+
+    def test_inflight_fates_match_the_pipeline_stage(self):
+        # Before the commit point there is nothing to lose; after it the
+        # client was either told "failed" (never acked — free to retry) or
+        # "acked" (and then the commit must be on the promoted timeline).
+        expected = {
+            "staged": "none",
+            "forced": "failed",
+            "minority_acked": "failed",
+            "quorum_acked": "acked",
+            "post_ack_inflight": "acked+failed",
+        }
+        assert set(expected) == set(CRASH_POINTS)
+        for point, fate in expected.items():
+            assert _run_crash_point(point).inflight == fate
+
+    def test_quorum_acked_commit_is_on_the_promoted_timeline(self):
+        result = _run_crash_point("quorum_acked")
+        # Two seed commits plus the quorum-acked one were acknowledged
+        # before the crash; all three sit at or below the promoted
+        # watermark.  (The post-fail-over recovery commit lands above it.)
+        assert result.promoted_vtnc >= 3
+        assert 3 in result.acked

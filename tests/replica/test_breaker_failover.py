@@ -1,0 +1,159 @@
+"""Circuit breakers across a quorum fail-over: no pinning to the deposed primary.
+
+The QoS breaker and the replication tier meet in one session-side pattern:
+a breaker guards the *logical* primary ("the place my commits go"), trips
+on the typed infrastructure errors a fail-over produces
+(:class:`~repro.errors.QuorumUnavailable`), and its half-open probe must
+land on whatever the cluster currently calls primary — re-fetched per
+attempt — so a completed promotion closes the breaker instead of leaving
+sessions pinned to the deposed incarnation forever.
+"""
+
+from repro.distributed.courier import Courier
+from repro.errors import QuorumUnavailable, ReproError, is_retryable
+from repro.qos.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.replica.cluster import ReplicaCluster
+from repro.replica.quorum import ReplicationMode
+
+
+class Clock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_cluster(n_replicas: int = 2):
+    courier = Courier(manual=True)
+    cluster = ReplicaCluster(
+        n_replicas=n_replicas, courier=courier, mode=ReplicationMode.QUORUM
+    )
+    return cluster, courier
+
+
+def probe_commit(cluster, courier, key="probe"):
+    """One session attempt against the *current* primary (re-fetched)."""
+    db = cluster.primary
+    txn = db.begin()
+    db.write(txn, key, 1).result()
+    future = db.commit(txn)
+    courier.pump()
+    return future
+
+
+class TestBreakerAcrossFailover:
+    def test_quorum_unavailable_is_breaker_food(self):
+        # The fail-over error must be the retryable infrastructure kind the
+        # breaker counts — not a contention abort it must ignore.
+        error = QuorumUnavailable(1, epoch=0, fenced=True)
+        assert is_retryable(error)
+
+    def test_breaker_opens_on_failover_and_probe_lands_on_new_primary(self):
+        cluster, courier = make_cluster()
+        clock = Clock()
+        breaker = CircuitBreaker(
+            name="primary", failure_threshold=2, recovery_time=10.0, clock=clock
+        )
+
+        # Two in-flight quorum commits; the primary dies before any ack.
+        futures = []
+        for _ in range(2):
+            db = cluster.primary
+            txn = db.begin()
+            db.write(txn, f"k{txn.txn_id}", 1).result()
+            futures.append(db.commit(txn))
+        cluster.fail_over(crash_old=True)
+        for future in futures:
+            assert future.failed
+            assert isinstance(future.error, QuorumUnavailable)
+            breaker.record_failure()
+        assert breaker.state == OPEN
+
+        # While open the session fast-fails instead of hammering a primary
+        # that cannot answer.
+        assert not breaker.allow()
+        assert breaker.fast_fails == 1
+
+        # Recovery elapses: the single half-open probe goes through — and
+        # because the session re-fetches cluster.primary, it reaches the
+        # *promoted* scheduler, not the deposed one.
+        clock.now = 10.0
+        assert breaker.allow()
+        assert breaker.state == HALF_OPEN
+        promoted_epoch = cluster.epoch
+        future = probe_commit(cluster, courier)
+        assert future.done and not future.failed
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert cluster.epoch == promoted_epoch, "probe did not disturb the term"
+
+        # The now-closed breaker serves ordinary traffic against the new
+        # primary.
+        assert breaker.allow()
+        assert not probe_commit(cluster, courier).failed
+
+    def test_deposed_primary_cannot_answer_a_probe(self):
+        # The partition scenario: the deposed primary survives
+        # (crash_old=False) and is never told.  A session pinned to the old
+        # handle gets a probe that can never be acknowledged — its segments
+        # bounce off the survivors' epoch guards — so the breaker re-opens
+        # and only a re-fetching session recovers.
+        cluster, courier = make_cluster()
+        clock = Clock()
+        breaker = CircuitBreaker(
+            name="primary", failure_threshold=1, recovery_time=5.0, clock=clock
+        )
+        old_db = cluster.primary
+        cluster.fail_over(crash_old=False)
+        survivors = list(cluster.replicas.values())
+
+        breaker.record_failure()  # the fail-over's first broken commit
+        assert breaker.state == OPEN
+        clock.now = 5.0
+        assert breaker.allow()  # half-open probe
+
+        # Pinned session: probes the *deposed* handle.
+        txn = old_db.begin()
+        old_db.write(txn, "pinned", 1).result()
+        try:
+            future = old_db.commit(txn)
+        except ReproError:
+            future = None
+        courier.pump()
+        if future is not None:
+            # The commit entered the deposed pipeline but no valid-epoch
+            # ack can ever arrive: the probe hangs (a timeout in real
+            # deployments) or fails — it never succeeds.
+            assert future.pending or future.failed
+            assert any(r.segments_stale > 0 for r in survivors), (
+                "the deposed primary's segments must be rejected by epoch"
+            )
+        breaker.record_failure()  # the session's probe timeout/failure
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+
+        # The un-pinned retry: recovery elapses again, the probe re-fetches
+        # cluster.primary, and the breaker closes on the promoted term.
+        clock.now = 10.0
+        assert breaker.allow()
+        future = probe_commit(cluster, courier)
+        assert future.done and not future.failed
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_half_open_admits_exactly_one_probe_during_failover(self):
+        # Concurrency discipline: while one probe is in flight against a
+        # cluster mid-fail-over, other sessions keep fast-failing — the
+        # promotion is not stampeded the moment recovery_time elapses.
+        clock = Clock()
+        breaker = CircuitBreaker(
+            name="primary", failure_threshold=1, recovery_time=1.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.now = 1.0
+        assert breaker.allow()
+        before = breaker.fast_fails
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert breaker.fast_fails == before + 2

@@ -1,6 +1,6 @@
 """Campaign and bench smoke tests (short durations; CI runs the full drill)."""
 
-from repro.replica.bench import run_replica_scaling
+from repro.replica.bench import run_replica_scaling, run_replica_sync
 from repro.replica.campaign import run_replication_campaign
 
 
@@ -14,6 +14,20 @@ class TestReplicationCampaign:
         assert report.deterministic
         # Faults actually fired — the run exercised the lossy path.
         assert report.faults.get("drops", 0) > 0
+
+    def test_quorum_mode_has_zero_rpo(self):
+        # The same lossy campaign under quorum acks: nothing acknowledged
+        # may sit above the promoted watermark.
+        report = run_replication_campaign(
+            seed=0, duration=80.0, mode="quorum", verify_determinism=False
+        )
+        assert report.ok, report.violations
+        assert report.phase.rpo_txns == 0
+        assert report.phase.promoted_replica is not None
+
+    def test_async_mode_reports_rpo_as_replication_lag(self):
+        report = run_replication_campaign(seed=0, duration=80.0)
+        assert report.phase.rpo_txns == report.phase.failover_lag_txns
 
     def test_campaign_without_promotion(self):
         report = run_replication_campaign(
@@ -89,5 +103,19 @@ class TestReplicaScalingBench:
         assert block["ok"], block["violations"]
         assert block["ro_speedup"] >= 2.0
         assert abs(block["rw_ratio"] - 1.0) <= 0.15
+        # Comparator safety: the block is not shaped like a protocol entry.
+        assert "throughput" not in block
+
+
+class TestReplicaSyncBench:
+    def test_quorum_pays_latency_not_correctness(self):
+        block = run_replica_sync(seed=0, duration=150.0)
+        assert block["ok"], block["violations"]
+        # The quorum p50 carries at least one ship+ack round trip that
+        # async never waits for.
+        assert block["commit_p50_delta"] >= 2 * block["latency"]
+        quorum = block["modes"]["quorum"]
+        assert quorum["quorum_fenced"] == 0, "clean network must not fence"
+        assert quorum["quorum_indeterminate"] == 0
         # Comparator safety: the block is not shaped like a protocol entry.
         assert "throughput" not in block

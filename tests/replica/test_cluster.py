@@ -102,7 +102,7 @@ class TestFailOver:
         cluster = ReplicaCluster(n_replicas=2)
         _commit(cluster, "x", 1)
         cluster.shipper.detach()          # simulate a total partition
-        cluster.log.unsubscribe_force(cluster.shipper.ship)
+        cluster.log.unsubscribe_force(cluster._ship_token)
         _commit(cluster, "x", 99)         # durable on the primary only
         cluster.fail_over()
         reader = cluster.primary.begin(read_only=True)

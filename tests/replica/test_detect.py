@@ -1,0 +1,161 @@
+"""Failure detection: suspicion scores, vote quorums, automatic promotion."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.faults.courier import FaultyCourier
+from repro.faults.schedule import FaultSchedule
+from repro.replica.cluster import ReplicaCluster
+from repro.replica.detect import ClusterSupervisor, FailureDetector, HeartbeatConfig
+from repro.replica.quorum import ReplicationMode
+from repro.sim.engine import Simulator
+
+
+def sim_cluster(n_replicas=3, mode=ReplicationMode.QUORUM, seed=0):
+    sim = Simulator()
+    courier = FaultyCourier(schedule=FaultSchedule(seed=seed), sim=sim, latency=0.1)
+    cluster = ReplicaCluster(n_replicas=n_replicas, courier=courier, mode=mode)
+    return sim, courier, cluster
+
+
+FAST = HeartbeatConfig(
+    interval=1.0, suspect_after=4.0, lease_ttl=3.0, commit_timeout=5.0
+)
+
+
+class TestHeartbeatConfig:
+    def test_lease_must_not_outlive_suspicion(self):
+        with pytest.raises(ValueError, match="lease_ttl"):
+            HeartbeatConfig(suspect_after=5.0, lease_ttl=6.0)
+
+    def test_safety_ordering_accepted_at_equality(self):
+        config = HeartbeatConfig(suspect_after=5.0, lease_ttl=5.0)
+        assert config.lease_ttl == config.suspect_after
+
+
+class TestFailureDetector:
+    def test_suspicion_grows_linearly_from_last_beat(self):
+        detector = FailureDetector(suspect_after=8.0, now=0.0)
+        assert detector.suspicion(4.0) == 0.5
+        assert not detector.suspects(7.9)
+        assert detector.suspects(8.0)
+
+    def test_heartbeat_resets_the_clock(self):
+        detector = FailureDetector(suspect_after=8.0, now=0.0)
+        detector.on_heartbeat(6.0)
+        assert not detector.suspects(13.9)
+        assert detector.suspects(14.0)
+        assert detector.beats == 1
+
+
+class TestSupervisor:
+    def test_needs_a_simulated_courier(self):
+        cluster = ReplicaCluster(n_replicas=1)
+        with pytest.raises(ProtocolError, match="simulated"):
+            ClusterSupervisor(cluster)
+
+    def test_healthy_cluster_never_fails_over(self):
+        sim, courier, cluster = sim_cluster()
+        supervisor = ClusterSupervisor(cluster, FAST, until=40.0)
+        supervisor.start()
+        sim.run()
+        assert supervisor.auto_promotions == 0
+        assert cluster.epoch == 0
+        assert cluster.counters.get("detect.hb_acks") > 0
+
+    def test_vote_quorum_is_full_cluster_majority(self):
+        sim, courier, cluster = sim_cluster(n_replicas=3)
+        supervisor = ClusterSupervisor(cluster, FAST, until=10.0)
+        assert supervisor.vote_quorum() == 3, "majority of 4 members"
+
+    def test_partitioned_primary_is_deposed_automatically(self):
+        sim, courier, cluster = sim_cluster()
+        supervisor = ClusterSupervisor(cluster, FAST, until=60.0)
+        supervisor.start()
+        held = []
+
+        def cut():
+            for rid in cluster.replicas:
+                for channel in (f"hb.{rid}", f"hback.{rid}",
+                                f"ship.{rid}", f"ack.{rid}"):
+                    courier.partition(channel)
+                    held.append(channel)
+
+        def heal(_promoted):
+            # The channels model the *old* primary's links; the promoted
+            # primary sits on the majority side of the cut, so its links
+            # to the survivors come back up.
+            for channel in held:
+                courier.heal(channel)
+            held.clear()
+
+        cluster.on_promote.append(heal)
+        sim.call_in(10.0, cut)
+        sim.run()
+        assert supervisor.auto_promotions == 1
+        assert cluster.epoch == 1
+        assert cluster.counters.get("detect.suspicions") >= 3
+        assert cluster.counters.get("detect.votes") >= 3
+
+    def test_detection_latency_is_bounded(self):
+        # Promotion must land within suspect_after + a few heartbeat
+        # rounds of the cut — the availability SLO depends on it.
+        sim, courier, cluster = sim_cluster()
+        supervisor = ClusterSupervisor(cluster, FAST, until=60.0)
+        supervisor.start()
+        promoted_at = []
+        cluster.on_promote.append(lambda r: promoted_at.append(sim.now))
+
+        def cut():
+            for rid in cluster.replicas:
+                courier.partition(f"hb.{rid}")
+                courier.partition(f"hback.{rid}")
+
+        sim.call_in(10.0, cut)
+        sim.run()
+        assert promoted_at, "no automatic promotion"
+        assert promoted_at[0] - 10.0 <= FAST.suspect_after + 3 * FAST.interval
+
+    def test_supervisor_rearms_for_a_second_failover(self):
+        sim, courier, cluster = sim_cluster(n_replicas=3)
+        supervisor = ClusterSupervisor(cluster, FAST, until=120.0)
+        supervisor.start()
+        held = []
+
+        def cut_primary_links():
+            # The *current* replica set: works for both incarnations.
+            for rid in cluster.replicas:
+                for channel in (f"hb.{rid}", f"hback.{rid}"):
+                    courier.partition(channel)
+                    held.append(channel)
+
+        def heal(_promoted):
+            for channel in held:
+                courier.heal(channel)
+            held.clear()
+
+        cluster.on_promote.append(heal)
+        sim.call_in(10.0, cut_primary_links)
+        sim.call_in(60.0, cut_primary_links)
+        sim.run()
+        assert supervisor.auto_promotions == 2
+        assert cluster.epoch == 2
+
+    def test_stale_epoch_heartbeats_do_not_refresh(self):
+        # A frame carrying an older epoch than the replica's must not count
+        # as a sign of life — the deposed primary cannot keep itself alive.
+        sim, courier, cluster = sim_cluster(n_replicas=2)
+        supervisor = ClusterSupervisor(cluster, FAST, until=5.0)
+        supervisor.start()
+        sim.run()
+        rid = next(iter(cluster.replicas))
+        detector = supervisor._detectors[rid]
+        beats_before = detector.beats
+        # Simulate a deposed primary's frame: replica epoch moved ahead.
+        cluster.replicas[rid].epoch += 1
+        supervisor.active = True
+        supervisor._tick()
+        sim.run()
+        assert supervisor._detectors[rid].beats == beats_before, (
+            "stale-epoch frame refreshed the detector"
+        )

@@ -75,7 +75,7 @@ class TestStalenessPolicies:
     def _lagging_db(self, **kwargs):
         db = _loaded_db(**kwargs)
         # Desubscribe the replicas so further commits open a lag window.
-        db.cluster.log.unsubscribe_force(db.cluster.shipper.ship)
+        db.cluster.log.unsubscribe_force(db.cluster._ship_token)
         for _ in range(5):
             with db.transaction() as txn:
                 txn.write("x", 100)

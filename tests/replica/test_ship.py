@@ -26,11 +26,43 @@ class TestShippedLog:
         log = ShippedLog()
         calls = []
         fn = lambda: calls.append(1)  # noqa: E731
-        log.subscribe_force(fn)
+        token = log.subscribe_force(fn)
         log.force()
-        log.unsubscribe_force(fn)
+        log.unsubscribe_force(token)
         log.force()
         assert calls == [1]
+
+    def test_unsubscribe_unknown_token_is_noop(self):
+        log = ShippedLog()
+        calls = []
+        log.subscribe_force(lambda: calls.append(1))
+        log.unsubscribe_force(999)
+        log.force()
+        assert calls == [1]
+
+    def test_identical_bound_methods_unsubscribe_independently(self):
+        # The regression that motivated token handles: two subscriptions of
+        # the same bound method compare equal (`a.m == a.m` is True for
+        # fresh bound-method objects), so an equality-based unsubscribe
+        # would deregister *both*.  Tokens keep them independent.
+        class Listener:
+            def __init__(self):
+                self.calls = 0
+
+            def on_force(self):
+                self.calls += 1
+
+        log = ShippedLog()
+        listener = Listener()
+        assert listener.on_force == listener.on_force  # the equality trap
+        first = log.subscribe_force(listener.on_force)
+        second = log.subscribe_force(listener.on_force)
+        assert first != second
+        log.force()
+        assert listener.calls == 2
+        log.unsubscribe_force(first)
+        log.force()
+        assert listener.calls == 3  # the second subscription survived
 
     def test_partial_force_notifies_too(self):
         log = ShippedLog()

@@ -12,6 +12,7 @@ from repro.errors import (
     FutureNotReady,
     InvariantViolation,
     ProtocolError,
+    QuorumUnavailable,
     ReproError,
     SnapshotTooOld,
     TransactionAborted,
@@ -124,3 +125,30 @@ class TestClassificationPartitions:
     def test_snapshot_too_old_membership(self):
         assert AbortReason.SNAPSHOT_TOO_OLD in RETRYABLE_REASONS
         assert AbortReason.SNAPSHOT_TOO_OLD in CONTENTION_REASONS
+
+    def test_quorum_unavailable_membership(self):
+        # Retryable (the cluster heals itself; the retry lands on the new
+        # primary) and infrastructure (circuit breakers must see it).
+        assert AbortReason.QUORUM_UNAVAILABLE in RETRYABLE_REASONS
+        assert AbortReason.QUORUM_UNAVAILABLE in INFRASTRUCTURE_REASONS
+
+
+class TestQuorumUnavailable:
+    def test_carries_epoch_and_fencing_flavour(self):
+        err = QuorumUnavailable(7, epoch=3, fenced=True)
+        assert err.epoch == 3
+        assert err.fenced is True
+        assert err.reason is AbortReason.QUORUM_UNAVAILABLE
+        assert "fenced" in str(err)
+
+    def test_indeterminate_flavour_says_so(self):
+        err = QuorumUnavailable(7, epoch=3)
+        assert err.fenced is False
+        assert "indeterminate" in str(err)
+        # One except-clause catches it alongside every protocol abort.
+        assert isinstance(err, TransactionAborted)
+
+    def test_retryable_infrastructure(self):
+        err = QuorumUnavailable(7, epoch=0, fenced=True)
+        assert is_retryable(err)
+        assert is_infrastructure(err)
