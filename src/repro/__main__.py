@@ -28,12 +28,17 @@ Commands:
   ``drill --campaign memory`` runs the memory
   campaign — bounded version GC under snapshot leases, watermark-driven
   lease revocation, and ``SnapshotTooOld`` retry loops (see
-  ``docs/gc.md``);
+  ``docs/gc.md``); ``drill --campaign shard`` runs the multi-primary
+  sharding drill — hash-partitioned shards with independent commit
+  streams, cross-shard 2PC, watermark-vector read-only snapshots, and a
+  single-shard fail-over that must not stall the survivors (see
+  ``docs/sharding.md``);
 * ``bench [--quick ...]`` — seeded benchmark suites emitting versioned
   ``BENCH_<rev>.json`` artifacts (throughput, latency percentiles, abort
   rates, critical-path phase shares, plus ``qos`` overload, ``replica``
-  scaling, and ``replica_sync`` durability-mode blocks) with a regression
-  comparator for CI (see ``docs/benchmarks.md``);
+  scaling, ``replica_sync`` durability-mode, and ``shard`` multi-primary
+  scaling blocks) with a regression comparator for CI (see
+  ``docs/benchmarks.md``);
 * ``watch <file.jsonl>`` — replay a recorded trace through the streaming
   SLO watchdogs: tumbling-window objectives, EWMA anomaly baselines,
   hysteresis, and breach-triggered flight-recorder bundles; exits 3 on an

@@ -317,6 +317,21 @@ def bench_replica_sync(seed: int) -> dict[str, Any]:
     return run_replica_sync(seed, duration=150.0)
 
 
+def bench_shard(seed: int) -> dict[str, Any]:
+    """One shard scaling run → the artifact's ``shard`` block.
+
+    Demonstrates the multi-primary inverse of ``replica``: *read-write*
+    throughput scales with the shard count because disjoint-key fast-path
+    commits on different shards share nothing, while vector read-only
+    sessions ride along without blocking.  Top-level like ``qos`` so the
+    protocol comparator ignores it and older baselines stay comparable;
+    the ``--slo`` CI gate checks its ``ok`` (the 1.7x/3x floors).
+    """
+    from repro.shard.bench import run_shard_scaling
+
+    return run_shard_scaling(seed, duration=160.0)
+
+
 def _gc_scenario(
     *, bounded: bool, pinned: bool, rounds: int = 400, n_keys: int = 8,
     sweep_every: int = 10, pin_at: int = 20,
@@ -438,6 +453,7 @@ def run_suite(
     artifact["qos"] = bench_qos(seed)
     artifact["replica"] = bench_replica(seed)
     artifact["replica_sync"] = bench_replica_sync(seed)
+    artifact["shard"] = bench_shard(seed)
     artifact["gc"] = bench_gc(seed)
     qos_slo = artifact["qos"].get("slo")
     artifact["slo"] = {
@@ -615,6 +631,14 @@ def render_artifact(artifact: dict[str, Any]) -> str:
             f"replica [{verdict}]: ro_speedup={replica.get('ro_speedup', 0.0):.2f}x "
             f"({span} replicas) rw_ratio={replica.get('rw_ratio', 0.0):.2f}x"
         )
+    shard = artifact.get("shard")
+    if shard:
+        verdict = "ok" if shard.get("ok") else "FAIL"
+        speedups = shard.get("speedups", {})
+        ramp = " ".join(
+            f"{speedups[n]:.2f}x@{n}" for n in sorted(speedups, key=int)
+        )
+        lines.append(f"shard [{verdict}]: rw_speedup {ramp}")
     gc_block = artifact.get("gc")
     if gc_block:
         verdict = "ok" if gc_block.get("ok") else "FAIL"
@@ -647,8 +671,10 @@ def main(argv: list[str]) -> int:
       --compare A B    compare two existing artifacts (no run) and exit
       --slo            exit 1 if the run's SLO watchdogs report an
                        unexpected breach (the artifact's top-level slo block),
-                       the GC ablation fails, or the serializability witness
-                       refuses to certify a protocol that promises 1SR
+                       the GC ablation fails, the replica-sync or shard
+                       scaling blocks miss their floors, or the
+                       serializability witness refuses to certify a protocol
+                       that promises 1SR
       --cprofile       additionally profile the run's real CPU (top functions)
       --list           list suites and exit
     """
@@ -800,6 +826,11 @@ def main(argv: list[str]) -> int:
     if slo_gate and not artifact.get("replica_sync", {}).get("ok", True):
         print("\nREPLICA SYNC REGRESSION: the async-vs-quorum block failed")
         for message in artifact.get("replica_sync", {}).get("violations", []):
+            print(f"  {message}")
+        return 1
+    if slo_gate and not artifact.get("shard", {}).get("ok", True):
+        print("\nSHARD REGRESSION: the multi-primary scaling block failed")
+        for message in artifact.get("shard", {}).get("violations", []):
             print(f"  {message}")
         return 1
     if slo_gate and not artifact.get("witness", {}).get("ok", True):

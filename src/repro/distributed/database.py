@@ -245,8 +245,7 @@ class DistributedVCDatabase:
         # deadlock cycles spanning sites are detected at request time.
         self._global_waits_for = WaitsForGraph()
         self.sites: dict[int, Site] = {
-            sid: Site(sid, checked=checked, waits_for=self._global_waits_for)
-            for sid in range(1, n_sites + 1)
+            sid: self._build_site(sid, checked) for sid in range(1, n_sites + 1)
         }
         self.courier = courier if courier is not None else Courier()
         self.recorder = HistoryRecorder()
@@ -264,6 +263,11 @@ class DistributedVCDatabase:
             breakers.bind_clock(lambda: sim.now)
         #: Active read-write transactions, for crash handling.
         self._active: dict[int, Transaction] = {}
+
+    def _build_site(self, sid: int, checked: bool) -> Site:
+        """Site constructor hook; subclasses substitute richer node types
+        (``repro.shard`` builds :class:`~repro.shard.database.ShardNode`)."""
+        return Site(sid, checked=checked, waits_for=self._global_waits_for)
 
     def _now(self) -> float:
         """Virtual time when the courier has a clock; 0.0 otherwise."""
@@ -407,8 +411,7 @@ class DistributedVCDatabase:
             self.counters.bump("qos.breaker.fastfail")
             result.fail(SiteUnavailable(site.site_id))
             return result
-        assert txn.sn is not None
-        sn = int(txn.sn)
+        sn = self._ro_start_number(txn, site)
         started = False
 
         def deliver() -> None:
@@ -435,6 +438,16 @@ class DistributedVCDatabase:
 
         self._send_for(txn, site, deliver, channel="read")
         return result
+
+    def _ro_start_number(self, txn: Transaction, site: Site) -> int:
+        """The start number a read-only read at ``site`` waits for and reads at.
+
+        The base protocol snapshots at one global number (``txn.sn``);
+        ``repro.shard`` overrides this with the transaction's per-shard
+        watermark-vector component.
+        """
+        assert txn.sn is not None
+        return int(txn.sn)
 
     # -- read-write path -------------------------------------------------------------------
 
@@ -596,6 +609,11 @@ class DistributedVCDatabase:
                         )
                     site.wal.append(LogRecord(RecordKind.COMMIT, txn.txn_id, tn=tn))
                     site.wal.force()
+                    # Post-durability hook: rides the forced COMMIT record,
+                    # so whatever a subclass appends here is exactly as
+                    # durable as the commit itself (repro.shard's cross-
+                    # shard visibility log).  Idempotent via the acks guard.
+                    self._site_committed(site, txn, tn, participants)
                     if site.vc.is_registered(txn.txn_id):
                         site.vc.adopt(txn.txn_id, tn)
                     else:
@@ -655,6 +673,17 @@ class DistributedVCDatabase:
                     )
 
             self.courier.call_later(timeout, on_timeout)
+
+    def _site_committed(
+        self, site: Site, txn: Transaction, tn: int, participants: list[int]
+    ) -> None:
+        """Hook: ``txn`` just became durable at ``site`` under ``tn``.
+
+        Runs once per (transaction, site) — after the WAL force, before
+        version install and visibility completion.  The base protocol needs
+        nothing here; ``repro.shard`` appends cross-shard commits to the
+        site's visibility log at exactly this point.
+        """
 
     def abort(self, txn: Transaction, reason: AbortReason = AbortReason.USER_REQUESTED) -> None:
         if txn.is_finished:

@@ -76,6 +76,13 @@ class DistributedVersionControl:
         """``observer(vtnc)`` fires after every visibility advance."""
         self._observers.append(observer)
 
+    def unsubscribe(self, observer: Callable[[int], None]) -> None:
+        """Detach ``observer``; a no-op when it was never subscribed."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
     # -- entry procedures ------------------------------------------------------------
 
     def vc_start(self) -> int:

@@ -298,7 +298,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--campaign",
-        choices=("faults", "overload", "replication", "memory", "availability"),
+        choices=(
+            "faults", "overload", "replication", "memory", "availability",
+            "shard",
+        ),
         default="faults",
         help="faults: network faults + crashes over the distributed "
         "protocols; overload: QoS overload campaign (admission shedding, "
@@ -309,7 +312,10 @@ def main(argv: list[str] | None = None) -> int:
         "oldest-first revocation, SnapshotTooOld retries) — see "
         "repro.qos.memory; availability: quorum-mode self-healing drill "
         "(partition the primary, automatic fail-over, RPO=0, split-brain "
-        "fencing, crash-point sweep) — see repro.replica.availability",
+        "fencing, crash-point sweep) — see repro.replica.availability; "
+        "shard: hash-sharded multi-primary drill (partition one shard, "
+        "fail it over mid-batch, certify 1SR + snapshot-vector consistency "
+        "+ determinism + fail-over isolation) — see repro.shard.campaign",
     )
     parser.add_argument(
         "--policy",
@@ -405,6 +411,8 @@ def main(argv: list[str] | None = None) -> int:
         return _memory_main(args)
     if args.campaign == "availability":
         return _availability_main(args)
+    if args.campaign == "shard":
+        return _shard_main(args)
 
     protocols = PROTOCOLS if args.protocol == "both" else (args.protocol,)
     spec = FaultSpec(
@@ -690,6 +698,63 @@ def _availability_main(args: argparse.Namespace) -> int:
         print(
             f"  replay: python -m repro drill --campaign availability "
             f"--seeds 1 --seed-base {report.seed} --replicas {args.replicas}",
+            file=sys.stderr,
+        )
+    return 1 if failed else 0
+
+
+def _shard_main(args: argparse.Namespace) -> int:
+    """``python -m repro drill --campaign shard`` — multi-primary drill."""
+    from repro.shard.campaign import run_shard_campaign
+
+    print(
+        f"shard campaign: seeds={args.seeds} shards={args.sites} "
+        f"duration={args.duration} (partition one shard -> fail-over "
+        f"mid-batch; certify 1SR + vector consistency + determinism + "
+        f"fail-over isolation)"
+    )
+    failed = []
+    for offset in range(args.seeds):
+        seed = args.seed_base + offset
+        report = run_shard_campaign(
+            seed, duration=args.duration, n_shards=args.sites
+        )
+        if not report.ok:
+            failed.append(report)
+        if not args.quiet:
+            verdict = "ok" if report.ok else "FAIL"
+            phase = report.phase
+            failed_outages = phase.outages_per_shard.get(report.fail_shard, ())
+            outage = max(failed_outages) if failed_outages else 0.0
+            print(
+                f"  seed={seed:<4d} {verdict:4s} "
+                f"fast={phase.fast_commits:<4d} x={phase.cross_commits:<3d} "
+                f"ro={phase.ro_sessions:<4d} "
+                f"audits={phase.audits_failed} "
+                f"survive={phase.survivor_commits_during:<3d} "
+                f"outage={outage:<6.2f} "
+                f"det={'yes' if report.deterministic else 'NO'}"
+                + (
+                    f" slo={'ok' if report.slo['ok'] else 'BREACH'}"
+                    if report.slo is not None
+                    else ""
+                )
+                + (
+                    f" witness={'1SR' if report.witness['ok'] else 'FAIL'}"
+                    if report.witness is not None
+                    else ""
+                )
+            )
+    print(f"{args.seeds} campaigns, {len(failed)} failed")
+    for report in failed:
+        print(f"FAILED seed={report.seed}:", file=sys.stderr)
+        for violation in report.violations:
+            print(f"  violation: {violation}", file=sys.stderr)
+        for name in report.phase.wedged:
+            print(f"  wedged process: {name}", file=sys.stderr)
+        print(
+            f"  replay: python -m repro drill --campaign shard "
+            f"--seeds 1 --seed-base {report.seed} --sites {args.sites}",
             file=sys.stderr,
         )
     return 1 if failed else 0

@@ -52,6 +52,36 @@ def subscribe_version_control(vc: Any, tracer: Tracer) -> Callable[[str, int], N
     return observer
 
 
+def subscribe_distributed_site_vc(site: Any, tracer: Tracer) -> Callable[[int], None] | None:
+    """Bridge one distributed site's VC onto ``tracer`` as ``dvc.advance``.
+
+    A distributed/sharded database has one independent GTN counter per
+    site, so there is no single monotone ``tnc``/``vtnc`` stream — the
+    witness's sealing floors need the *per-site* watermarks (the floor is
+    the minimum over sites, not the maximum a shared ``vc.*`` stream would
+    report).  Each advance emits ``dvc.advance`` with the site id, its new
+    watermark, and the highest number the site has issued so far; one
+    event fires at subscription too, so every site is known to consumers
+    from the start of the run.  Returns the subscribed observer (for
+    ``vc.unsubscribe``), or ``None`` when the tracer is disabled.
+    """
+    if not tracer.enabled:
+        return None
+    vc = site.vc
+
+    def observer(vtnc: int) -> None:
+        tracer.emit(
+            "dvc.advance",
+            site=vc.site_id,
+            vtnc=vtnc,
+            tnc=vc.next_local_number - 1,
+        )
+
+    vc.subscribe(observer)
+    observer(vc.vtnc)
+    return observer
+
+
 class Instrumentation:
     """Handle for one attach: remembers what to undo."""
 
@@ -109,16 +139,33 @@ def attach_tracer(scheduler: Any, tracer: Tracer) -> Instrumentation:
     if isinstance(engines, dict):
         for engine in engines.values():
             _attach_one(engine, handle)
-    # Distributed databases: the courier (message + fault.* events) and each
-    # site's lock manager and WAL.  Site version control is deliberately NOT
-    # bridged: DistributedVersionControl's observer signature (``vtnc`` only)
-    # differs from the centralized hook this module subscribes to.
+    # Distributed databases: the courier (message + fault.* events), each
+    # site's lock manager and WAL, and each site's version control via the
+    # ``dvc.advance`` bridge (per-site watermarks — a multi-primary run has
+    # no single monotone counter stream, so consumers like the witness take
+    # floors over sites).
     handle._set_tracer(getattr(scheduler, "courier", None))
     sites = getattr(scheduler, "sites", None)
     if isinstance(sites, dict):
         for site in sites.values():
             handle._set_tracer(getattr(site, "locks", None))
             handle._set_tracer(getattr(site, "wal", None))
+            site_vc = getattr(site, "vc", None)
+            if site_vc is not None and not any(
+                existing is site_vc for existing, _ in handle._vc_observers
+            ):
+                observer = subscribe_distributed_site_vc(site, tracer)
+                if observer is not None:
+                    handle._vc_observers.append((site_vc, observer))
+            # Sharded databases: each shard may carry its own replica chain
+            # (repro.shard.ShardNode) — instrument its shipper and replicas
+            # the same way a ReplicaCluster's are.
+            handle._set_tracer(getattr(site, "shipper", None))
+            site_replicas = getattr(site, "replicas", None)
+            if isinstance(site_replicas, dict):
+                for replica in site_replicas.values():
+                    handle._set_tracer(replica)
+                    handle._set_tracer(getattr(replica, "counters", None))
     # QoS components (repro.qos): admission controller and circuit-breaker
     # board, when installed, emit qos.admit/qos.shed/qos.breaker events.
     handle._set_tracer(getattr(scheduler, "admission", None))

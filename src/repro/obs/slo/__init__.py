@@ -29,6 +29,7 @@ from repro.obs.slo.objectives import (
     memory_objectives,
     overload_objectives,
     replication_objectives,
+    shard_objectives,
 )
 from repro.obs.slo.recorder import BUNDLE_SCHEMA, FlightRecorder
 from repro.obs.slo.windows import Ewma, WindowStats
@@ -55,4 +56,5 @@ __all__ = [
     "memory_objectives",
     "overload_objectives",
     "replication_objectives",
+    "shard_objectives",
 ]

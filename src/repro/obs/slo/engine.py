@@ -34,6 +34,14 @@ signal             derivation
                    availability prober's measured unavailability window)
 ``quorum.fenced`` / ``quorum.indeterminate``
                    1 per fenced / quorum-timeout commit (quorum mode)
+``shard.staleness``  ``staleness`` of every ``shard.snapshot`` (vector
+                   sweep cost in committed-transaction ticks, worst shard)
+``shard.vc_lag``   the ``queue`` field of every ``shard.commit`` (held
+                   commits at the shard at cross-shard commit time)
+``shard.ro_blocked`` / ``shard.vector_inconsistent`` / ``shard.failover``
+                   1 per blocked vector read / torn vector / fail-over
+``shard.outage``   the ``duration`` of every ``shard.outage`` (per-shard
+                   write-availability prober window)
 =================  ==============================================================
 
 **Windows.**  Virtual time is chopped into tumbling windows of width
@@ -245,6 +253,24 @@ class SLOEngine:
             self._signal("quorum.fenced", 1.0)
         elif name == "quorum.indeterminate":
             self._signal("quorum.indeterminate", 1.0)
+        elif name == "shard.snapshot":
+            staleness = fields.get("staleness")
+            if staleness is not None:
+                self._signal("shard.staleness", staleness)
+        elif name == "shard.commit":
+            queue = fields.get("queue")
+            if queue is not None:
+                self._signal("shard.vc_lag", queue)
+        elif name == "shard.ro_blocked":
+            self._signal("shard.ro_blocked", 1.0)
+        elif name == "shard.vector_inconsistent":
+            self._signal("shard.vector_inconsistent", 1.0)
+        elif name == "shard.failover":
+            self._signal("shard.failover", 1.0)
+        elif name == "shard.outage":
+            duration = fields.get("duration")
+            if duration is not None:
+                self._signal("shard.outage", duration)
         extra = self._extra.get(name)
         if extra is not None:
             value = fields.get(extra[0])

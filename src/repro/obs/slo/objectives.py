@@ -566,9 +566,65 @@ def availability_objectives(*, max_outage: float = 30.0) -> list[Objective]:
     ]
 
 
+def shard_objectives(
+    *, max_staleness: float = 24.0, max_outage: float = 30.0
+) -> list[Objective]:
+    """The shard drill's online verdicts (``repro.shard.campaign``).
+
+    ``vector_consistency`` is the headline hard zero: a snapshot vector
+    that tears a cross-shard commit (visible on one participant, missing
+    on another) is a serializability violation, full stop.
+    ``ro_blocked`` guards the zero-coordination claim — a vector read
+    never waits on any shard's watermark.  ``snapshot_staleness`` bounds
+    what the sweep costs: how many committed transactions (worst shard)
+    a vector had to give up to reach consistency.  ``vc_lag`` watches
+    each shard's commit-queue depth at cross-shard commit time, and
+    ``shard_failover``/``shard_outage`` are expected-anomaly watchdogs —
+    the drill partitions and fails over one shard on purpose; the breach
+    must be recorded (with its flight-recorder bundle), not failed.
+    """
+    return [
+        ZeroObjective(
+            "vector_consistency", "shard.vector_inconsistent",
+            description="snapshot vectors never tear a cross-shard commit "
+            "(the 1SR read promise)",
+        ),
+        ZeroObjective(
+            "ro_blocked", "shard.ro_blocked",
+            description="vector reads never block on a shard watermark "
+            "(the zero-coordination claim)",
+        ),
+        MaxObjective(
+            "snapshot_staleness", "shard.staleness",
+            ceiling=float(max_staleness),
+            description="committed-transaction ticks the consistency sweep "
+            "cost a vector, worst shard",
+        ),
+        MaxObjective(
+            "vc_lag", "shard.vc_lag",
+            baseline=Ewma(alpha=0.3, warmup=4), rel_limit=3.0, min_count=2,
+            expected=True, hysteresis=Hysteresis(2, 2),
+            description="per-shard held-commit queue depth at cross-shard "
+            "commit time vs its own EWMA baseline",
+        ),
+        ZeroObjective(
+            "shard_failover", "shard.failover", expected=True,
+            description="shard fail-overs: the drill injects exactly these "
+            "(anticipated, recorded not failed)",
+        ),
+        MaxObjective(
+            "shard_outage", "shard.outage", ceiling=float(max_outage),
+            expected=True, hysteresis=Hysteresis(1, 1),
+            description="write-unavailability window on the partitioned "
+            "shard (injected; the other shards must show none)",
+        ),
+    ]
+
+
 PROFILES = {
     "default": lambda: default_objectives(),
     "faults": lambda: faults_objectives(),
     "memory": lambda: memory_objectives(),
     "availability": lambda: availability_objectives(),
+    "shard": lambda: shard_objectives(),
 }

@@ -249,6 +249,11 @@ class WitnessEngine:
         self._tnc = 0
         self._vtnc = 0
         self._replica_vtnc: dict[Any, int] = {}
+        #: Per-site watermarks / issued-number highs from ``dvc.advance``
+        #: (multi-primary runs: floors are minima over sites — there is no
+        #: single monotone counter stream to lean on).
+        self._site_vtnc: dict[Any, int] = {}
+        self._site_tnc: dict[Any, int] = {}
         self._max_committed_tn = 0
 
     def _rollover(self) -> None:
@@ -328,6 +333,15 @@ class WitnessEngine:
                 self._tnc = max(self._tnc, int(tnc))
             if vtnc is not None:
                 self._vtnc = max(self._vtnc, int(vtnc))
+        elif name == "dvc.advance":
+            site = fields.get("site")
+            if site is not None:
+                vtnc = fields.get("vtnc")
+                if vtnc is not None and int(vtnc) > self._site_vtnc.get(site, -1):
+                    self._site_vtnc[site] = int(vtnc)
+                tnc = fields.get("tnc")
+                if tnc is not None and int(tnc) > self._site_tnc.get(site, -1):
+                    self._site_tnc[site] = int(tnc)
         elif name in ("replica.watermark", "replica.ack"):
             rid = fields.get("replica")
             vtnc = fields.get("vtnc")
@@ -344,6 +358,16 @@ class WitnessEngine:
     # -- floors ----------------------------------------------------------------
 
     def _watermark_floor(self) -> int:
+        if self._site_vtnc:
+            # Multi-primary: each site advances an independent GTN
+            # counter, so the only safe global watermark is the slowest
+            # site's (a snapshot vector's components all sit at or above
+            # it — lowering an included component lands at ``tn' - 1`` of
+            # an entry some site has not passed, hence above this min).
+            floor = min(self._site_vtnc.values())
+            if self._replica_vtnc:
+                floor = min(floor, min(self._replica_vtnc.values()))
+            return floor
         if not self._vc_seen:
             return self._max_committed_tn
         floor = self._vtnc
@@ -352,6 +376,17 @@ class WitnessEngine:
         return floor
 
     def _begin_floor(self, cls: str) -> int:
+        if self._site_tnc:
+            # Multi-primary: a read-write transaction's eventual tn is
+            # issued by *some* site strictly after its begin, so the min
+            # over every site's issued-number high bounds it from below —
+            # the global stream is not tn-monotone (a commit on a lagging
+            # shard arrives numerically below an earlier commit on a fast
+            # one), which is exactly why the single-stream ``_tnc`` bound
+            # cannot be used here.
+            if cls == "ro":
+                return self._watermark_floor()
+            return min(self._site_tnc.values())
         if not self._vc_seen:
             # Without vc.* events a reader's snapshot point is unknown —
             # a distributed RO may be pinned to a lagging site's vtnc —

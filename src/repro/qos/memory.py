@@ -595,7 +595,7 @@ def run_memory_campaign(
       multiple of keyspace + client population, independent of
       ``duration``) — sealing, not run length, bounds the certifier.
     """
-    from repro.obs.witness import WitnessEngine
+    from repro.faults.determinism import verify_double_run
 
     if live_bound is None:
         live_bound = int(high_watermark * LIVE_BOUND_FACTOR)
@@ -619,21 +619,17 @@ def run_memory_campaign(
         low_watermark=low_watermark,
         high_watermark=high_watermark,
     )
-    engine = _memory_engine(live_bound, duration) if slo else None
-    certifier = WitnessEngine(seal=True) if witness else None
-    stats = _run_phase(seed, engine=engine, witness=certifier, **knobs)
-    deterministic = True
-    if verify_determinism:
-        replay_engine = _memory_engine(live_bound, duration) if slo else None
-        replay_certifier = WitnessEngine(seal=True) if witness else None
-        replay = _run_phase(
-            seed, engine=replay_engine, witness=replay_certifier, **knobs
-        )
-        deterministic = replay.fingerprint() == stats.fingerprint()
-        if deterministic and engine is not None:
-            deterministic = replay_engine.report() == engine.report()
-        if deterministic and certifier is not None:
-            deterministic = replay_certifier.report() == certifier.report()
+    outcome = verify_double_run(
+        lambda engine, certifier: _run_phase(
+            seed, engine=engine, witness=certifier, **knobs
+        ),
+        slo=slo,
+        witness=witness,
+        make_engine=lambda: _memory_engine(live_bound, duration),
+        verify=verify_determinism,
+    )
+    stats, engine, certifier = outcome.result, outcome.engine, outcome.certifier
+    deterministic = outcome.deterministic
 
     report = MemoryReport(
         seed=seed,

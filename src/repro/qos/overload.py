@@ -338,7 +338,7 @@ def run_overload_campaign(
     campaign violation, and under ``verify_determinism`` its verdict block
     must replay byte-identically too.
     """
-    from repro.obs.witness import WitnessEngine
+    from repro.faults.determinism import verify_double_run
 
     writers = max(1, int(capacity * overload_factor))
     knobs = dict(
@@ -349,27 +349,17 @@ def run_overload_campaign(
         deadline=deadline,
     )
     baseline = _run_phase(seed, writers=0, **knobs)
-    engine = _overload_engine(baseline, capacity, duration) if slo else None
-    certifier = WitnessEngine(seal=True) if witness else None
-    overload = _run_phase(
-        seed, writers=writers, engine=engine, witness=certifier, **knobs
+    outcome = verify_double_run(
+        lambda engine, certifier: _run_phase(
+            seed, writers=writers, engine=engine, witness=certifier, **knobs
+        ),
+        slo=slo,
+        witness=witness,
+        make_engine=lambda: _overload_engine(baseline, capacity, duration),
+        verify=verify_determinism,
     )
-    deterministic = True
-    if verify_determinism:
-        replay_engine = _overload_engine(baseline, capacity, duration) if slo else None
-        replay_certifier = WitnessEngine(seal=True) if witness else None
-        replay = _run_phase(
-            seed,
-            writers=writers,
-            engine=replay_engine,
-            witness=replay_certifier,
-            **knobs,
-        )
-        deterministic = replay.fingerprint() == overload.fingerprint()
-        if deterministic and engine is not None:
-            deterministic = replay_engine.report() == engine.report()
-        if deterministic and certifier is not None:
-            deterministic = replay_certifier.report() == certifier.report()
+    overload, engine, certifier = outcome.result, outcome.engine, outcome.certifier
+    deterministic = outcome.deterministic
 
     report = OverloadReport(
         seed=seed,

@@ -579,7 +579,7 @@ def run_availability_campaign(
     ``duplicate_commits`` count must be zero — the fenced deposed primary
     contributed no second timeline.
     """
-    from repro.obs.witness import WitnessEngine
+    from repro.faults.determinism import verify_double_run
 
     if heartbeat is None:
         heartbeat = HeartbeatConfig(
@@ -605,30 +605,32 @@ def run_availability_campaign(
         partition_at=partition_at,
         heartbeat=heartbeat,
     )
-    engine = make_engine() if slo else None
-    certifier = WitnessEngine(seal=True) if witness else None
-    phase = _run_partition_phase(seed, engine=engine, witness=certifier, **knobs)
-    crash_points = [
-        _run_crash_point(point, n_replicas=n_replicas) for point in CRASH_POINTS
-    ]
-    deterministic = True
-    if verify_determinism:
-        replay_engine = make_engine() if slo else None
-        replay_certifier = WitnessEngine(seal=True) if witness else None
-        replay = _run_partition_phase(
-            seed, engine=replay_engine, witness=replay_certifier, **knobs
-        )
-        deterministic = replay.fingerprint() == phase.fingerprint()
-        if deterministic and engine is not None:
-            deterministic = replay_engine.report() == engine.report()
-        if deterministic and certifier is not None:
-            deterministic = replay_certifier.report() == certifier.report()
-        if deterministic:
-            resweep = [
+    crash_points: list[Any] = []
+
+    def first_run(engine: Any | None, certifier: Any | None) -> Any:
+        phase = _run_partition_phase(seed, engine=engine, witness=certifier, **knobs)
+        if not crash_points:
+            crash_points.extend(
                 _run_crash_point(point, n_replicas=n_replicas)
                 for point in CRASH_POINTS
-            ]
-            deterministic = resweep == crash_points
+            )
+        return phase
+
+    def resweep_matches() -> bool:
+        return crash_points == [
+            _run_crash_point(point, n_replicas=n_replicas) for point in CRASH_POINTS
+        ]
+
+    outcome = verify_double_run(
+        first_run,
+        slo=slo,
+        witness=witness,
+        make_engine=make_engine,
+        verify=verify_determinism,
+        extra_check=resweep_matches,
+    )
+    phase, engine, certifier = outcome.result, outcome.engine, outcome.certifier
+    deterministic = outcome.deterministic
 
     report = AvailabilityReport(
         seed=seed,

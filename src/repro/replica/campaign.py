@@ -471,7 +471,7 @@ def run_replication_campaign(
     event retires the promoted replica's watermark from the sealing floor —
     and an MVSG cycle (or a tainted seal) is a campaign violation.
     """
-    from repro.obs.witness import WitnessEngine
+    from repro.faults.determinism import verify_double_run
 
     spec = spec if spec is not None else REPLICATION_SPEC
     mode = ReplicationMode(mode).value
@@ -495,21 +495,17 @@ def run_replication_campaign(
         mode=mode,
         promote_at=0.55 * duration if promote else None,
     )
-    engine = make_engine() if slo else None
-    certifier = WitnessEngine(seal=True) if witness else None
-    phase = _run_phase(seed, engine=engine, witness=certifier, **knobs)
-    deterministic = True
-    if verify_determinism:
-        replay_engine = make_engine() if slo else None
-        replay_certifier = WitnessEngine(seal=True) if witness else None
-        replay = _run_phase(
-            seed, engine=replay_engine, witness=replay_certifier, **knobs
-        )
-        deterministic = replay.fingerprint() == phase.fingerprint()
-        if deterministic and engine is not None:
-            deterministic = replay_engine.report() == engine.report()
-        if deterministic and certifier is not None:
-            deterministic = replay_certifier.report() == certifier.report()
+    outcome = verify_double_run(
+        lambda engine, certifier: _run_phase(
+            seed, engine=engine, witness=certifier, **knobs
+        ),
+        slo=slo,
+        witness=witness,
+        make_engine=make_engine,
+        verify=verify_determinism,
+    )
+    phase, engine, certifier = outcome.result, outcome.engine, outcome.certifier
+    deterministic = outcome.deterministic
 
     report = ReplicationReport(
         seed=seed,

@@ -1,0 +1,20 @@
+"""Hash-sharded multi-primary scale-out (``repro.shard``).
+
+The subsystem that removes the single version-control bottleneck: N
+primary shards, each with its own ``tnc``/``vtnc``, a consistent-hash
+keyspace split, single-shard fast-path commits, cross-shard 2PC, and
+decentralized read-only snapshot vectors.  See ``docs/sharding.md``.
+"""
+
+from repro.shard.database import ShardedDatabase, ShardNode
+from repro.shard.ring import VNODES, HashRing
+from repro.shard.vector import sweep_consistent_vector, torn_entries
+
+__all__ = [
+    "HashRing",
+    "ShardNode",
+    "ShardedDatabase",
+    "VNODES",
+    "sweep_consistent_vector",
+    "torn_entries",
+]

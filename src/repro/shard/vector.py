@@ -1,0 +1,102 @@
+"""Snapshot vectors: decentralized cross-shard read-only consistency.
+
+A sharded cluster has no global ``vtnc`` — each shard advances its own
+visibility watermark independently.  A read-only session therefore
+snapshots at a **vector** ``v`` with one component per shard, and the only
+thing that can go wrong is a *torn* cross-shard transaction: ``T`` wrote
+shards ``A`` and ``B``, the snapshot includes ``T`` at ``A``
+(``v_A >= tn(T)``) but not at ``B`` (``v_B < tn(T)``).  Single-shard
+commits can never tear — each shard's visibility is prefix-closed in
+transaction number (the paper's Transaction Visibility property, enforced
+per shard by its own VC queue), so a vector either includes a local
+transaction everywhere it exists (one shard) or nowhere.
+
+The posterior rule ("Decentralizing MVCC by Leveraging Visibility",
+PAPERS.md): start from the freshest vector the shards offer — each
+component the shard's current watermark — and *lower* components until no
+cross-shard commit is torn.  Lowering is always safe: any value at or
+below a shard's watermark names a committed, immutable prefix of that
+shard's history.  The fixpoint is the newest provably-consistent vector
+reachable from the raw one, and computing it needs only each shard's
+**cross-shard commit log** (``xlog``): the ``(tn, participants)`` pairs of
+cross-shard transactions, appended under the same WAL force that makes the
+commit itself durable.  Nothing on the write path waits for readers or for
+other shards — the coordination cost is paid (read-side, wait-free) at
+``begin``.
+
+Consistency argument, sketched (full version: ``docs/sharding.md``): a
+swept vector is a *downward-closed cut* of the commit order — for every
+included transaction ``T`` and every transaction ``T'`` with
+``tn(T') < tn(T)`` on any shard ``T`` touches, ``T'`` is included too
+(per-shard prefix closure), and ``T`` itself is included on every shard it
+touched (the sweep's fixpoint condition).  Reads at such a cut see exactly
+the writes of a prefix of the serialization order, so the S1 checker finds
+the cut's transactions serializable before every reader.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+#: One shard's cross-shard commit log entry: (tn, participant shard ids).
+XlogEntry = tuple[int, tuple[int, ...]]
+
+
+def sweep_consistent_vector(
+    raw: Mapping[int, int],
+    xlogs: Mapping[int, Iterable[XlogEntry]],
+) -> tuple[dict[int, int], int]:
+    """Lower ``raw`` to the newest consistent vector; returns ``(vector, lowered)``.
+
+    ``raw`` maps shard id to that shard's current visibility watermark;
+    ``xlogs`` maps shard id to its cross-shard commit log.  ``lowered``
+    counts component-lowering steps — 0 means the raw vector was already
+    consistent (the common case: no cross-shard commit mid-flight).
+
+    Termination: every step strictly lowers at least one component, each
+    bounded below by 0 and by the finite set of ``tn - 1`` values, so the
+    fixpoint is reached after at most ``len(entries) * len(raw)`` passes.
+    """
+    vector = dict(raw)
+    # The same commit appears in every participant's xlog; dedupe so one
+    # tear is one entry.  Sorted for deterministic sweep order.
+    entries = sorted(
+        {(tn, parts) for log in xlogs.values() for tn, parts in log}
+    )
+    lowered = 0
+    changed = True
+    while changed:
+        changed = False
+        for tn, participants in entries:
+            included = [p for p in participants if p in vector and vector[p] >= tn]
+            missing = [p for p in participants if p in vector and vector[p] < tn]
+            if included and missing:
+                # Torn at this vector: T is visible on `included` shards but
+                # not on `missing` ones.  Exclude it everywhere.
+                for p in included:
+                    vector[p] = tn - 1
+                    lowered += 1
+                changed = True
+    return vector, lowered
+
+
+def torn_entries(
+    vector: Mapping[int, int],
+    xlogs: Mapping[int, Iterable[XlogEntry]],
+) -> list[XlogEntry]:
+    """Cross-shard commits torn by ``vector`` (empty = consistent).
+
+    The audit face of the sweep: drills run it against every read-only
+    session's chosen vector, and a non-empty result is a snapshot-vector
+    inconsistency (acceptance criterion: zero, ever).
+    """
+    entries = sorted(
+        {(tn, parts) for log in xlogs.values() for tn, parts in log}
+    )
+    torn = []
+    for tn, participants in entries:
+        included = [p for p in participants if p in vector and vector[p] >= tn]
+        missing = [p for p in participants if p in vector and vector[p] < tn]
+        if included and missing:
+            torn.append((tn, participants))
+    return torn

@@ -1,0 +1,84 @@
+"""Snapshot-vector sweep: the posterior rule's fixpoint, unit by unit."""
+
+from repro.shard.vector import sweep_consistent_vector, torn_entries
+
+
+class TestConsistentVectorsPassThrough:
+    def test_no_cross_shard_traffic_is_already_consistent(self):
+        raw = {1: 10, 2: 7, 3: 3}
+        vector, lowered = sweep_consistent_vector(raw, {1: [], 2: [], 3: []})
+        assert vector == raw
+        assert lowered == 0
+
+    def test_fully_visible_entry_does_not_lower(self):
+        raw = {1: 10, 2: 10}
+        xlogs = {1: [(8, (1, 2))], 2: [(8, (1, 2))]}
+        vector, lowered = sweep_consistent_vector(raw, xlogs)
+        assert vector == raw and lowered == 0
+
+    def test_fully_invisible_entry_does_not_lower(self):
+        raw = {1: 5, 2: 5}
+        xlogs = {1: [(8, (1, 2))], 2: [(8, (1, 2))]}
+        vector, lowered = sweep_consistent_vector(raw, xlogs)
+        assert vector == raw and lowered == 0
+
+
+class TestTearLowering:
+    def test_torn_entry_lowers_the_including_component(self):
+        # T committed at tn=8 on shards 1 and 2; shard 2's watermark has
+        # not reached it yet -> exclude T everywhere: v1 drops to 7.
+        raw = {1: 10, 2: 5}
+        xlogs = {1: [(8, (1, 2))], 2: []}
+        vector, lowered = sweep_consistent_vector(raw, xlogs)
+        assert vector == {1: 7, 2: 5}
+        assert lowered == 1
+        assert torn_entries(vector, xlogs) == []
+
+    def test_duplicate_entries_across_xlogs_count_once(self):
+        # The same commit appears in every participant's xlog; the sweep
+        # must dedupe or one tear would be lowered twice.
+        raw = {1: 10, 2: 5}
+        xlogs = {1: [(8, (1, 2))], 2: [(8, (1, 2))]}
+        vector, lowered = sweep_consistent_vector(raw, xlogs)
+        assert vector == {1: 7, 2: 5}
+        assert lowered == 1
+
+    def test_cascading_fixpoint(self):
+        # Excluding the tn=10 commit drops v1 to 9, which newly tears the
+        # tn=8 commit on (1, 3) -> v1 must keep falling to 7.
+        raw = {1: 12, 2: 5, 3: 5}
+        xlogs = {1: [(10, (1, 2)), (8, (1, 3))], 2: [], 3: []}
+        vector, lowered = sweep_consistent_vector(raw, xlogs)
+        assert vector == {1: 7, 2: 5, 3: 5}
+        assert torn_entries(vector, xlogs) == []
+
+    def test_sweep_never_raises_a_component(self):
+        raw = {1: 20, 2: 3, 3: 15}
+        xlogs = {
+            1: [(18, (1, 3)), (9, (1, 2))],
+            2: [(9, (1, 2))],
+            3: [(18, (1, 3)), (12, (2, 3))],
+        }
+        vector, _ = sweep_consistent_vector(raw, xlogs)
+        assert all(vector[sid] <= raw[sid] for sid in raw)
+        assert torn_entries(vector, xlogs) == []
+
+    def test_participants_outside_the_vector_are_ignored(self):
+        # A shard can be absent (e.g. a partial vector in a unit test);
+        # entries touching it only constrain the components present.
+        raw = {1: 10}
+        xlogs = {1: [(8, (1, 2))]}
+        vector, lowered = sweep_consistent_vector(raw, xlogs)
+        assert vector == {1: 10} and lowered == 0
+
+
+class TestTornAudit:
+    def test_reports_each_torn_entry(self):
+        vector = {1: 10, 2: 5}
+        xlogs = {1: [(8, (1, 2)), (3, (1, 2))], 2: []}
+        assert torn_entries(vector, xlogs) == [(8, (1, 2))]
+
+    def test_consistent_vector_audits_clean(self):
+        vector = {1: 7, 2: 7}
+        xlogs = {1: [(5, (1, 2))], 2: [(5, (1, 2))]}
+        assert torn_entries(vector, xlogs) == []
